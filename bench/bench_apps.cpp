@@ -1,0 +1,95 @@
+// APP — Section 6's application claims: "A broadcast algorithm using our
+// technique would have O~(n) message complexity as compared to O(n^2)
+// without the clustering. Similarly, a sampling algorithm relying on our
+// protocol would have a polylog(n) message complexity per sample." Plus the
+// introduction's single-reliable-process strawman (flat Byzantine
+// agreement) against the clustered agreement service.
+#include "bench_common.hpp"
+
+#include "apps/agreement_service.hpp"
+#include "apps/broadcast.hpp"
+#include "apps/sampling.hpp"
+#include "baseline/single_cluster.hpp"
+
+namespace now {
+namespace {
+
+void run() {
+  bench::print_header(
+      "APP (Section 6 applications vs flat baselines)",
+      "broadcast O~(n) vs O(n^2); sampling polylog vs O(n); agreement O~(n) "
+      "vs flat O(n^3) phase-king");
+
+  sim::Table table({"n", "bcast_NOW", "bcast_naive", "ratio", "sample_NOW",
+                    "sample_flat", "agree_NOW", "agree_flat"});
+
+  std::vector<double> sweep_n;
+  std::vector<double> bcast_costs;
+  bool crossover_ok = true;
+
+  for (const std::size_t n : {256, 512, 1024, 2048, 4096}) {
+    core::NowParams params;
+    params.max_size = 1 << 14;
+    params.walk_mode = core::WalkMode::kSimulate;
+    Metrics metrics;
+    core::NowSystem system{params, metrics,
+                           static_cast<std::uint64_t>(n) * 13};
+    system.initialize(n, static_cast<std::size_t>(0.15 * n),
+                      core::InitTopology::kModeledSparse);
+
+    const NodeId source = system.state().node_home.begin()->first;
+    const auto bcast = apps::broadcast(system, source, 7);
+    const auto naive = apps::naive_broadcast_cost(n);
+
+    const ClusterId start = system.state().clusters.begin()->first;
+    RunningStat sample_cost;
+    for (int i = 0; i < 20; ++i) {
+      sample_cost.add(static_cast<double>(
+          apps::sample_node(system, start).cost.messages));
+    }
+
+    const auto agree = apps::decide_majority(
+        system, [](NodeId) { return true; }, false);
+    const auto flat_agree = baseline::flat_agreement_cost(n);
+    const auto flat_sample = baseline::flat_sampling_cost(n);
+
+    const double ratio = static_cast<double>(naive.messages) /
+                         static_cast<double>(bcast.cost.messages);
+    table.add_row({sim::Table::fmt(std::uint64_t{n}),
+                   sim::Table::fmt(bcast.cost.messages),
+                   sim::Table::fmt(naive.messages),
+                   sim::Table::fmt(ratio, 2),
+                   sim::Table::fmt(sample_cost.mean(), 0),
+                   sim::Table::fmt(flat_sample.messages),
+                   sim::Table::fmt(agree.cost.messages),
+                   sim::Table::fmt(flat_agree.messages)});
+    sweep_n.push_back(static_cast<double>(n));
+    bcast_costs.push_back(static_cast<double>(bcast.cost.messages));
+    if (n >= 1024 && bcast.cost.messages >= naive.messages) {
+      crossover_ok = false;
+    }
+    if (agree.cost.messages >= flat_agree.messages) crossover_ok = false;
+  }
+  table.print(std::cout);
+
+  const auto fit = powerlaw_fit(sweep_n, bcast_costs);
+  std::cout << "NOW broadcast cost ~ n^" << sim::Table::fmt(fit.slope, 2)
+            << " (paper: O~(n), i.e. exponent ~1; naive is exactly 2)\n";
+  std::cout << "note: per-sample cost is polylog but constant-heavy "
+               "(randNum on every walk hop); it is flat in n while the "
+               "unstructured baseline grows linearly — the crossover sits "
+               "near n ~ 1e5 at these constants\n";
+  bench::print_verdict(
+      crossover_ok && fit.slope < 1.5,
+      "clustered broadcast grows ~linearly in n and overtakes naive "
+      "flooding by growing margins; clustered agreement beats flat "
+      "phase-king by orders of magnitude; sampling stays polylog per draw");
+}
+
+}  // namespace
+}  // namespace now
+
+int main() {
+  now::run();
+  return 0;
+}

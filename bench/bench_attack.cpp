@@ -1,0 +1,98 @@
+// ATT — Section 3.3's motivation for shuffling: "the adversary chooses a
+// specific cluster and keeps adding and removing the Byzantine nodes until
+// they fall into that cluster". With exchange enabled the attack is
+// neutralized; without it the victim cluster falls.
+//
+// Experiment: identical join-leave attack against NOW and against the
+// no-shuffle baseline; also the forced-leave (DoS) attack. Report
+// time-to-compromise (or survival) and the victim cluster's peak Byzantine
+// fraction.
+#include "bench_common.hpp"
+
+#include "adversary/adversary.hpp"
+#include "baseline/no_shuffle.hpp"
+#include "sim/scenario.hpp"
+
+namespace now {
+namespace {
+
+struct AttackOutcome {
+  bool fell = false;
+  std::size_t fall_step = 0;
+  double peak = 0.0;
+};
+
+AttackOutcome run_attack(bool shuffle, const std::string& kind,
+                         std::size_t steps, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.params.max_size = 1 << 12;
+  config.params.tau = 0.15;
+  // k scaled to the slack as Lemma 1 requires (see bench_thm3_longrun):
+  // the shuffled system's survival is a whp statement in k, while the
+  // no-shuffle capture is *systematic* — it happens at any k.
+  config.params.k = 10;
+  config.params.walk_mode = core::WalkMode::kSampleExact;
+  config.params.shuffle_enabled = shuffle;
+  config.n0 = 900;
+  config.steps = steps;
+  config.sample_every = 5;
+  config.seed = seed;
+
+  Metrics metrics;
+  std::unique_ptr<adversary::Adversary> adv;
+  if (kind == "join-leave") {
+    adv = std::make_unique<adversary::JoinLeaveAdversary>(
+        config.params.tau, adversary::ChurnSchedule::hold(400),
+        /*background_churn=*/0.1);
+  } else {
+    adv = std::make_unique<adversary::ForcedLeaveAdversary>(
+        config.params.tau);
+  }
+  const auto result = sim::run_scenario(config, *adv, metrics);
+  return AttackOutcome{result.ever_compromised, result.first_compromise_step,
+                       result.peak_byz_fraction};
+}
+
+void run() {
+  bench::print_header(
+      "ATT (join-leave & forced-leave attacks: NOW vs no-shuffle)",
+      "shuffling defeats the targeted attacks; without exchange the victim "
+      "cluster is captured");
+
+  const std::size_t steps = 1500;
+  sim::Table table({"system", "attack", "steps", "captured", "fall_step",
+                    "peak_pC"});
+  bool separation = true;
+
+  for (const std::string kind : {"join-leave", "forced-leave"}) {
+    for (const bool shuffle : {true, false}) {
+      const auto outcome =
+          run_attack(shuffle, kind, steps, shuffle ? 17 : 31);
+      table.add_row({shuffle ? "NOW (shuffling)" : "no-shuffle baseline",
+                     kind, sim::Table::fmt(std::uint64_t{steps}),
+                     outcome.fell ? "YES" : "no",
+                     outcome.fell
+                         ? sim::Table::fmt(std::uint64_t{outcome.fall_step})
+                         : "-",
+                     sim::Table::fmt(outcome.peak, 3)});
+      if (kind == "join-leave") {
+        if (shuffle && outcome.fell) separation = false;
+        if (!shuffle && !outcome.fell) separation = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::print_verdict(
+      separation,
+      "the same join-leave attack that captures a cluster without shuffling "
+      "is fully absorbed by NOW's exchange — the experiment behind Section "
+      "3.3's design argument");
+}
+
+}  // namespace
+}  // namespace now
+
+int main() {
+  now::run();
+  return 0;
+}

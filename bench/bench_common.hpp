@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benches. Every bench regenerates one of
+// the paper's figures or quantitative claims (see DESIGN.md §4) and prints
+// paper-claim vs measured through sim::Table.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "core/now.hpp"
+#include "sim/table.hpp"
+
+namespace now::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& claim) {
+  std::cout << "\n==================================================="
+               "=============================\n"
+            << "EXPERIMENT " << experiment_id << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "---------------------------------------------------"
+               "-----------------------------\n";
+}
+
+inline void print_verdict(bool holds, const std::string& summary) {
+  std::cout << "Verdict: " << (holds ? "REPRODUCED" : "DEVIATION") << " — "
+            << summary << "\n";
+}
+
+/// Mean over samples of the message field.
+inline double mean_messages(const std::vector<Cost>& samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0;
+  for (const auto& c : samples) total += static_cast<double>(c.messages);
+  return total / static_cast<double>(samples.size());
+}
+
+inline double mean_rounds(const std::vector<Cost>& samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0;
+  for (const auto& c : samples) total += static_cast<double>(c.rounds);
+  return total / static_cast<double>(samples.size());
+}
+
+/// ln(N)^e convenience for bound columns.
+inline double lnpow(std::uint64_t n, double e) {
+  return log_pow(static_cast<double>(n), e);
+}
+
+}  // namespace now::bench

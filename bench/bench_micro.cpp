@@ -1,0 +1,165 @@
+// MICRO — google-benchmark microbenchmarks of the primitives, for profiling
+// the simulator itself (wall-clock, not message-cost, which the other
+// benches measure).
+#include <benchmark/benchmark.h>
+
+#include "agreement/phase_king.hpp"
+#include "cluster/rand_num.hpp"
+#include "core/now.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/random_walk.hpp"
+#include "graph/spectral.hpp"
+
+namespace now {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng{1};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<graph::Vertex> verts(n);
+  for (std::size_t i = 0; i < n; ++i) verts[i] = i;
+  Rng rng{2};
+  for (auto _ : state) {
+    graph::Graph g;
+    graph::generate_erdos_renyi(g, verts, 10.0 / static_cast<double>(n), rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_CtrwWalk(benchmark::State& state) {
+  graph::Graph g;
+  std::vector<graph::Vertex> verts(200);
+  for (std::size_t i = 0; i < verts.size(); ++i) verts[i] = i;
+  Rng gen{3};
+  graph::generate_erdos_renyi(g, verts, 0.05, gen);
+  for (const auto v : g.vertices()) {
+    if (g.degree(v) == 0) g.add_edge(v, (v + 1) % 200);
+  }
+  Rng rng{4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ctrw_walk(g, 0, 25.0, rng).endpoint);
+  }
+}
+BENCHMARK(BM_CtrwWalk);
+
+void BM_SpectralEstimate(benchmark::State& state) {
+  graph::Graph g;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<graph::Vertex> verts(n);
+  for (std::size_t i = 0; i < n; ++i) verts[i] = i;
+  Rng gen{5};
+  graph::generate_erdos_renyi(g, verts, 12.0 / static_cast<double>(n), gen);
+  for (const auto v : g.vertices()) {
+    if (g.degree(v) == 0) g.add_edge(v, (v + 1) % n);
+  }
+  Rng rng{6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::estimate_expansion(g, rng, 100).spectral_gap);
+  }
+}
+BENCHMARK(BM_SpectralEstimate)->Arg(128)->Arg(512);
+
+void BM_RandNumMessageLevel(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < s; ++i) members.emplace_back(i);
+  Metrics metrics;
+  Rng rng{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::run_rand_num(members, {}, 1000, cluster::RandNumMode::kFast,
+                              cluster::RandNumByz::kFollow, metrics, rng)
+            .value);
+  }
+}
+BENCHMARK(BM_RandNumMessageLevel)->Arg(16)->Arg(33);
+
+void BM_PhaseKing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<NodeId> members;
+  std::map<NodeId, std::uint64_t> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    members.emplace_back(i);
+    inputs[members.back()] = i % 2;
+  }
+  Metrics metrics;
+  Rng rng{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        agreement::run_phase_king(members, {}, inputs,
+                                  agreement::ByzBehavior::kSilent, metrics,
+                                  rng)
+            .rounds);
+  }
+}
+BENCHMARK(BM_PhaseKing)->Arg(7)->Arg(16)->Arg(31);
+
+struct SystemFixture {
+  core::NowParams params;
+  Metrics metrics;
+  core::NowSystem system;
+  explicit SystemFixture(core::WalkMode mode)
+      : params([mode] {
+          core::NowParams p;
+          p.max_size = 1 << 12;
+          p.walk_mode = mode;
+          return p;
+        }()),
+        system(params, metrics, 9) {
+    system.initialize(800, 120, core::InitTopology::kModeledSparse);
+  }
+};
+
+void BM_RandClSimulated(benchmark::State& state) {
+  SystemFixture fx{core::WalkMode::kSimulate};
+  const ClusterId start = fx.system.state().clusters.begin()->first;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.system.rand_cl_from(start).cluster);
+  }
+}
+BENCHMARK(BM_RandClSimulated);
+
+void BM_RandClSampled(benchmark::State& state) {
+  SystemFixture fx{core::WalkMode::kSampleExact};
+  const ClusterId start = fx.system.state().clusters.begin()->first;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.system.rand_cl_from(start).cluster);
+  }
+}
+BENCHMARK(BM_RandClSampled);
+
+void BM_ExchangeAll(benchmark::State& state) {
+  SystemFixture fx{core::WalkMode::kSampleExact};
+  auto it = fx.system.state().clusters.begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.system.exchange_all(it->first).messages);
+    ++it;
+    if (it == fx.system.state().clusters.end()) {
+      it = fx.system.state().clusters.begin();
+    }
+  }
+}
+BENCHMARK(BM_ExchangeAll);
+
+void BM_JoinLeaveCycle(benchmark::State& state) {
+  SystemFixture fx{core::WalkMode::kSampleExact};
+  Rng rng{10};
+  for (auto _ : state) {
+    const auto [node, report] = fx.system.join(false);
+    benchmark::DoNotOptimize(report.cost.messages);
+    fx.system.leave(node);
+  }
+}
+BENCHMARK(BM_JoinLeaveCycle);
+
+}  // namespace
+}  // namespace now
+
+BENCHMARK_MAIN();

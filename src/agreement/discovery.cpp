@@ -1,0 +1,72 @@
+#include "agreement/discovery.hpp"
+
+#include <vector>
+
+namespace now::agreement {
+
+DiscoveryResult run_discovery(const graph::Graph& topology,
+                              const std::set<NodeId>& byzantine,
+                              Metrics& metrics) {
+  DiscoveryResult result;
+  const auto verts = topology.vertices();
+
+  // knowledge = everything known; fresh = learned last round (to forward).
+  std::map<NodeId, std::set<NodeId>> fresh;
+  for (const auto v : verts) {
+    const NodeId id{v};
+    auto& known = result.knowledge[id];
+    known.insert(id);
+    for (const auto u : topology.neighbors(v)) known.insert(NodeId{u});
+    fresh[id] = known;
+  }
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::map<NodeId, std::set<NodeId>> incoming;
+    for (const auto v : verts) {
+      const NodeId id{v};
+      if (byzantine.contains(id)) continue;  // worst case: withhold
+      const auto fresh_it = fresh.find(id);
+      if (fresh_it == fresh.end() || fresh_it->second.empty()) continue;
+      const auto& to_send = fresh_it->second;
+      for (const auto u : topology.neighbors(v)) {
+        const NodeId peer{u};
+        // One unit message per identity transferred over this edge.
+        metrics.add_messages(to_send.size());
+        result.messages += to_send.size();
+        auto& box = incoming[peer];
+        box.insert(to_send.begin(), to_send.end());
+      }
+    }
+    std::map<NodeId, std::set<NodeId>> next_fresh;
+    for (auto& [id, received] : incoming) {
+      auto& known = result.knowledge.at(id);
+      auto& nf = next_fresh[id];
+      for (const NodeId learned : received) {
+        if (known.insert(learned).second) {
+          nf.insert(learned);
+          progressed = true;
+        }
+      }
+    }
+    fresh = std::move(next_fresh);
+    if (progressed) {
+      metrics.add_rounds(1);
+      ++result.rounds;
+    }
+  }
+
+  result.complete = true;
+  for (const auto v : verts) {
+    const NodeId id{v};
+    if (byzantine.contains(id)) continue;
+    if (result.knowledge.at(id).size() != verts.size()) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace now::agreement

@@ -1,0 +1,237 @@
+#include "agreement/phase_king.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace now::agreement {
+
+namespace {
+
+using net::Message;
+using net::Outbox;
+using net::Tag;
+
+std::size_t max_faults(std::size_t n) { return n == 0 ? 0 : (n - 1) / 3; }
+
+/// Members other than self (send targets; own value is counted locally).
+std::vector<NodeId> peers_of(std::span<const NodeId> members, NodeId self) {
+  std::vector<NodeId> peers;
+  peers.reserve(members.size() - 1);
+  for (const NodeId m : members)
+    if (m != self) peers.push_back(m);
+  return peers;
+}
+
+class HonestKingActor final : public net::Actor {
+ public:
+  HonestKingActor(NodeId self, std::vector<NodeId> members,
+                  std::uint64_t input)
+      : self_(self),
+        members_(std::move(members)),
+        peers_(peers_of(members_, self)),
+        n_(members_.size()),
+        f_(max_faults(members_.size())),
+        x_(input) {}
+
+  [[nodiscard]] std::uint64_t value() const { return x_; }
+
+  void on_round(std::size_t round, std::span<const Message> inbox,
+                Outbox& out) override {
+    const std::size_t phases = f_ + 1;
+    const std::size_t phase = round / 3;
+    const std::size_t sub = round % 3;
+    if (phase > phases) return;  // protocol over
+
+    switch (sub) {
+      case 0: {
+        // Apply the previous phase's king value, then (if the protocol is
+        // still running) broadcast value(x). Only the *designated* king of
+        // that phase is listened to — anyone can put kKing on the wire, but
+        // channels are private and authenticated, so impersonation fails.
+        if (phase > 0) {
+          const NodeId king = members_[(phase - 1) % n_];
+          std::uint64_t king_value = 0;
+          bool king_seen = false;
+          for (const auto& m : inbox) {
+            if (m.tag == Tag::kKing && m.from == king) {
+              king_value = m.payload.at(0);
+              king_seen = true;
+            }
+          }
+          if (proposals_seen_ < n_ - f_ && king_seen) x_ = king_value;
+        }
+        if (phase < phases) out.multicast(peers_, Tag::kValue, {x_});
+        break;
+      }
+      case 1: {
+        // Tally value(y) votes — one per sender (dedup models authenticated
+        // channels), own value included; propose the value that reached the
+        // n - f threshold, if any. At most one value can.
+        std::map<NodeId, std::uint64_t> votes;
+        for (const auto& m : inbox)
+          if (m.tag == Tag::kValue) votes[m.from] = m.payload.at(0);
+        std::map<std::uint64_t, std::size_t> counts;
+        counts[x_] += 1;
+        for (const auto& [from, value] : votes) counts[value] += 1;
+        proposed_.reset();
+        for (const auto& [value, count] : counts) {
+          if (count >= n_ - f_) {
+            proposed_ = value;
+            break;
+          }
+        }
+        if (proposed_) out.multicast(peers_, Tag::kPropose, {*proposed_});
+        break;
+      }
+      case 2: {
+        // Tally proposals (one per sender, own included); adopt a value
+        // proposed more than f times — at most one value can be (honest
+        // proposals never conflict and the f Byzantine members alone cannot
+        // clear the bar). The king check below must count proposals *for
+        // the adopted value*: counting all proposals would let equivocators
+        // inflate the total and keep a minority-supported value alive past
+        // an honest king's phase.
+        std::map<NodeId, std::uint64_t> votes;
+        for (const auto& m : inbox)
+          if (m.tag == Tag::kPropose) votes[m.from] = m.payload.at(0);
+        std::map<std::uint64_t, std::size_t> counts;
+        if (proposed_) counts[*proposed_] += 1;
+        for (const auto& [from, value] : votes) counts[value] += 1;
+        for (const auto& [value, count] : counts) {
+          if (count > f_) {
+            x_ = value;
+            break;
+          }
+        }
+        const auto support = counts.find(x_);
+        proposals_seen_ = support == counts.end() ? 0 : support->second;
+        if (members_[phase % n_] == self_) {
+          out.multicast(peers_, Tag::kKing, {x_});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> peers_;
+  std::size_t n_;
+  std::size_t f_;
+  std::uint64_t x_;
+  std::optional<std::uint64_t> proposed_;
+  std::size_t proposals_seen_ = 0;
+};
+
+class ByzantineKingActor final : public net::Actor {
+ public:
+  ByzantineKingActor(NodeId self, std::vector<NodeId> members,
+                     ByzBehavior behavior, Rng rng)
+      : self_(self),
+        members_(std::move(members)),
+        peers_(peers_of(members_, self)),
+        behavior_(behavior),
+        rng_(rng) {}
+
+  void on_round(std::size_t round, std::span<const Message> /*inbox*/,
+                Outbox& out) override {
+    const std::size_t n = members_.size();
+    const std::size_t phases = max_faults(n) + 1;
+    const std::size_t phase = round / 3;
+    const std::size_t sub = round % 3;
+    if (phase >= phases && !(phase == phases && sub == 0)) return;
+    if (behavior_ == ByzBehavior::kSilent) return;
+
+    const Tag tag = sub == 0   ? Tag::kValue
+                    : sub == 1 ? Tag::kPropose
+                               : Tag::kKing;
+    // Only the scheduled king's kKing messages matter, but flooding extra
+    // king messages is exactly the kind of misbehavior we want to exercise.
+    switch (behavior_) {
+      case ByzBehavior::kRandomLies: {
+        const std::uint64_t v = rng_.uniform(8);
+        out.multicast(peers_, tag, {v});
+        break;
+      }
+      case ByzBehavior::kEquivocate: {
+        for (const NodeId peer : peers_) {
+          out.send(peer, tag, {rng_.uniform(8)});
+        }
+        break;
+      }
+      case ByzBehavior::kCollude: {
+        out.multicast(peers_, tag, {kColludeValue});
+        break;
+      }
+      case ByzBehavior::kSilent:
+        break;
+    }
+  }
+
+  static constexpr std::uint64_t kColludeValue = 0xBADull;
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> peers_;
+  ByzBehavior behavior_;
+  Rng rng_;
+};
+
+}  // namespace
+
+PhaseKingResult run_phase_king(std::span<const NodeId> members,
+                               const std::set<NodeId>& byzantine,
+                               const std::map<NodeId, std::uint64_t>& inputs,
+                               ByzBehavior behavior, Metrics& metrics,
+                               Rng& rng) {
+  assert(!members.empty());
+  std::vector<NodeId> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const std::uint64_t messages_before = metrics.total().messages;
+
+  net::SyncNetwork network{metrics};
+  std::vector<std::pair<NodeId, const HonestKingActor*>> honest;
+  for (const NodeId id : sorted) {
+    if (byzantine.contains(id)) {
+      network.add_actor(id, std::make_unique<ByzantineKingActor>(
+                                id, sorted, behavior, rng.fork()));
+    } else {
+      auto actor =
+          std::make_unique<HonestKingActor>(id, sorted, inputs.at(id));
+      honest.emplace_back(id, actor.get());
+      network.add_actor(id, std::move(actor));
+    }
+  }
+
+  const std::size_t phases = max_faults(sorted.size()) + 1;
+  const std::size_t total_rounds = 3 * phases + 1;
+  network.run_rounds(total_rounds);
+
+  PhaseKingResult result;
+  result.rounds = total_rounds;
+  result.messages = metrics.total().messages - messages_before;
+  for (const auto& [id, actor] : honest) result.decisions[id] = actor->value();
+  return result;
+}
+
+Cost phase_king_cost_bound(std::size_t n) {
+  if (n <= 1) return Cost{0, 1};
+  const std::size_t phases = max_faults(n) + 1;
+  const std::uint64_t rounds = 3 * phases + 1;
+  return Cost{rounds * static_cast<std::uint64_t>(n) *
+                  static_cast<std::uint64_t>(n - 1),
+              rounds};
+}
+
+}  // namespace now::agreement

@@ -1,0 +1,66 @@
+// Byzantine agreement via the King algorithm (Berman–Garay–Perry style),
+// tolerating f < n/3 Byzantine members — the resilience the paper assumes for
+// its intra-cluster agreement and initialization ("any Byzantine agreement
+// protocol can be used", Section 3.2).
+//
+// One phase (3 rounds), f+1 phases with distinct kings:
+//   round 1: broadcast value(x).
+//   round 2: if some y was received >= n - f times, broadcast propose(y).
+//   round 3: if some z was proposed  >  f times, adopt x = z; the phase's
+//            king broadcasts king(x).
+//   phase end: nodes that saw fewer than n - f proposals adopt the king's
+//            value.
+// With n > 3f at most one value can gather n - f value-votes, so honest
+// proposals never conflict; any phase with an honest king ends in agreement,
+// and agreement persists.
+//
+// The message-level implementation runs on net::SyncNetwork with injectable
+// Byzantine behaviors; `phase_king_cost_bound` gives the closed-form cost the
+// bulk-accounting path charges, and tests assert the measured cost never
+// exceeds it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace now::agreement {
+
+/// How Byzantine members misbehave inside the agreement protocol.
+enum class ByzBehavior {
+  kSilent,      // never send anything
+  kRandomLies,  // consistent but random values each round
+  kEquivocate,  // different random value per recipient (worst for thresholds)
+  kCollude,     // all byzantine members push one common adversarial value
+};
+
+struct PhaseKingResult {
+  /// Decision of every honest member (tests assert they are all equal).
+  std::map<NodeId, std::uint64_t> decisions;
+  /// Rounds consumed (also charged to the metrics sink).
+  std::size_t rounds = 0;
+  /// Unit messages sent by all members (honest and Byzantine).
+  std::uint64_t messages = 0;
+};
+
+/// Runs the King algorithm among `members` (ids must be distinct; kings are
+/// taken in ascending id order). `inputs` must contain a value for every
+/// member; Byzantine members ignore theirs. Requires |byzantine| < n/3 for
+/// the agreement guarantee (the function itself runs for any split and lets
+/// tests observe the failure mode).
+[[nodiscard]] PhaseKingResult run_phase_king(
+    std::span<const NodeId> members, const std::set<NodeId>& byzantine,
+    const std::map<NodeId, std::uint64_t>& inputs, ByzBehavior behavior,
+    Metrics& metrics, Rng& rng);
+
+/// Closed-form upper bound on the cost of one King-algorithm run with n
+/// members: 3(f+1) + 1 rounds and <= n(n-1) unit messages per round.
+[[nodiscard]] Cost phase_king_cost_bound(std::size_t n);
+
+}  // namespace now::agreement

@@ -1,0 +1,36 @@
+#include "agreement/quorum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace now::agreement {
+
+QuorumResult build_representative_quorum(std::span<const NodeId> nodes,
+                                         std::size_t size, Metrics& metrics,
+                                         Rng& rng) {
+  assert(size > 0 && size <= nodes.size());
+  QuorumResult result;
+  const auto picks = rng.sample_distinct(nodes.size(), size);
+  result.committee.reserve(size);
+  for (const std::size_t index : picks) result.committee.push_back(nodes[index]);
+  std::sort(result.committee.begin(), result.committee.end());
+
+  result.charged = quorum_cost_model(nodes.size());
+  metrics.add_messages(result.charged.messages);
+  metrics.add_rounds(result.charged.rounds);
+  return result;
+}
+
+Cost quorum_cost_model(std::size_t n) {
+  if (n <= 1) return Cost{1, 1};
+  const double nd = static_cast<double>(n);
+  const double messages = std::pow(nd, 1.5) * log_n(nd);
+  const double rounds = log_pow(nd, 2.0);
+  return Cost{static_cast<std::uint64_t>(std::ceil(messages)),
+              static_cast<std::uint64_t>(std::ceil(rounds))};
+}
+
+}  // namespace now::agreement

@@ -1,0 +1,45 @@
+// Representative-cluster selection (second half of NOW's initialization).
+//
+// The paper delegates this step to the scalable Byzantine agreement protocol
+// of King, Lonargan, Saia and Trehan [19], which — against a full-information
+// static adversary controlling < 1/3 - eps of the nodes — elects a
+// "representative" committee of logarithmic size containing > 2/3 honest
+// members whp, at communication cost O~(n * sqrt(n)).
+//
+// SUBSTITUTION (see DESIGN.md §5): [19] is an external protocol the paper
+// cites as a black box; re-deriving it is out of scope, so we model its
+// *guarantee*: the committee is a uniformly random subset of the given size
+// (which is > 2/3 honest whp by Chernoff when tau <= 1/3 - eps), and we
+// charge its published cost. The downstream NOW logic is unaffected: it only
+// consumes the committee plus the cost.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace now::agreement {
+
+struct QuorumResult {
+  std::vector<NodeId> committee;  // sorted
+  Cost charged;
+};
+
+/// Elects a representative committee of `size` members from `nodes`,
+/// uniformly at random, charging [19]'s O~(n sqrt n) message cost and
+/// polylog(n) rounds to `metrics`.
+[[nodiscard]] QuorumResult build_representative_quorum(
+    std::span<const NodeId> nodes, std::size_t size, Metrics& metrics,
+    Rng& rng);
+
+/// The cost model charged by build_representative_quorum (exposed for the
+/// initialization-cost bench): ceil(n^{3/2} * ln n) messages,
+/// ceil(ln^2 n) rounds.
+[[nodiscard]] Cost quorum_cost_model(std::size_t n);
+
+}  // namespace now::agreement

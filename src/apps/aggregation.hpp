@@ -1,0 +1,38 @@
+// Aggregation over the cluster overlay (Section 6 lists aggregation among
+// the services the clustering makes efficient and robust).
+//
+// Sum of one value per node: members share values inside their cluster
+// (all-to-all), each cluster computes a partial sum, and partial sums
+// convergecast along a BFS tree of the overlay to the root cluster. Every
+// tree edge carries one logical cluster message, so the total cost is
+// O~(n), and honest-majority clusters cannot have their partial sums forged
+// in transit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::apps {
+
+struct AggregationReport {
+  /// Sum of the submitted values, as computed at the root cluster.
+  std::uint64_t total = 0;
+  /// True iff every cluster's contribution reached the root through
+  /// honest-majority relays.
+  bool complete = false;
+  Cost cost;
+};
+
+/// Aggregates value(node) over all live nodes toward the cluster of `root`.
+/// Byzantine nodes may submit arbitrary values for themselves (they cannot
+/// affect anyone else's contribution); `byzantine_value` supplies what they
+/// submit (default: 0).
+AggregationReport aggregate_sum(
+    core::NowSystem& system, NodeId root,
+    const std::function<std::uint64_t(NodeId)>& value,
+    std::uint64_t byzantine_value = 0);
+
+}  // namespace now::apps

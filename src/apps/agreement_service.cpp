@@ -1,0 +1,35 @@
+#include "apps/agreement_service.hpp"
+
+#include "apps/aggregation.hpp"
+#include "apps/broadcast.hpp"
+
+namespace now::apps {
+
+AgreementReport decide_majority(core::NowSystem& system,
+                                const std::function<bool(NodeId)>& input,
+                                bool byzantine_vote) {
+  OpScope scope(system.metrics(), "agreement");
+  AgreementReport report;
+
+  // Root: the lowest-id live node's cluster (any deterministic rule works —
+  // all honest nodes can compute it from their views).
+  const auto& state = system.state();
+  const NodeId root = state.node_home.begin()->first;
+
+  // Count the ones (aggregation charges its own costs into our scope).
+  const auto ones = aggregate_sum(
+      system, root,
+      [&](NodeId id) { return input(id) ? std::uint64_t{1} : 0; },
+      byzantine_vote ? std::uint64_t{1} : 0);
+
+  report.decision = 2 * ones.total > state.num_nodes();
+
+  // Broadcast the decision back.
+  const auto echo = broadcast(system, root, report.decision ? 1 : 0);
+
+  report.sound = ones.complete && echo.delivered_everywhere;
+  report.cost = scope.cost();
+  return report;
+}
+
+}  // namespace now::apps

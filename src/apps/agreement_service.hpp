@@ -1,0 +1,37 @@
+// System-wide Byzantine agreement on top of the clustering (Section 6 and
+// the King–Saia question quoted there: "can we 1) do Byzantine agreement;
+// and 2) maintain small quorums of mostly good processors?").
+//
+// Every node holds a bit. Clusters agree internally by majority (all-to-all
+// inside the cluster), cluster verdicts convergecast to a root cluster
+// weighted by cluster size, the root decides the global majority, and the
+// decision is broadcast back. Total cost O~(n), versus Theta(n^2)-or-worse
+// for running flat Byzantine agreement among all n nodes (the paper's
+// single-reliable-process strawman; see baseline/single_cluster.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::apps {
+
+struct AgreementReport {
+  /// The decided bit.
+  bool decision = false;
+  /// True iff every cluster verdict reached the root through honest-majority
+  /// relays and the decision reached every cluster on the way back.
+  bool sound = false;
+  Cost cost;
+};
+
+/// Decides the majority of input(node) over all live honest nodes.
+/// Byzantine nodes vote `byzantine_vote` (their worst case: always the
+/// minority side — callers can probe both).
+AgreementReport decide_majority(core::NowSystem& system,
+                                const std::function<bool(NodeId)>& input,
+                                bool byzantine_vote);
+
+}  // namespace now::apps

@@ -1,0 +1,39 @@
+// Cluster-tree broadcast (Section 6: "A broadcast algorithm using our
+// technique would have O~(n) message complexity as compared to O(n^2)
+// without the clustering").
+//
+// The source hands the value to its cluster; the value then floods the OVER
+// overlay along a BFS tree. Every inter-cluster hop is one logical cluster
+// message (|C|*|D| unit messages, accepted under the > 1/2 rule), so a
+// cluster with a Byzantine majority cannot forge the payload and a cluster
+// with an honest majority cannot be silenced. Total cost:
+// #C * (k log N)^2 = O~(n).
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::apps {
+
+struct BroadcastReport {
+  /// Value as delivered (honest clusters relay it unmodified).
+  std::uint64_t value = 0;
+  /// Clusters reached through honest-majority relays.
+  std::size_t clusters_reached = 0;
+  /// True iff every node of every cluster received the value.
+  bool delivered_everywhere = false;
+  Cost cost;
+};
+
+/// Broadcasts `value` from `source` to the whole network. Charges messages
+/// to the system's metrics and rounds along the BFS critical path.
+BroadcastReport broadcast(core::NowSystem& system, NodeId source,
+                          std::uint64_t value);
+
+/// Cost of the naive clusterless broadcast the paper compares against:
+/// every node relays to every other node once.
+[[nodiscard]] Cost naive_broadcast_cost(std::size_t n);
+
+}  // namespace now::apps

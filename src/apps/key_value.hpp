@@ -1,0 +1,77 @@
+// Quorum-backed key-value storage on top of NOW.
+//
+// The line of work NOW improves on ([6, 7]: "Towards a scalable and robust
+// DHT") uses exactly this service as its motivation: keys are assigned to
+// clusters (quorums), reads and writes are certified by the > 1/2
+// inter-cluster rule, and the storage stays sound while every quorum keeps
+// its honest supermajority — which is what NOW maintains under churn.
+//
+// Key placement uses rendezvous (highest-random-weight) hashing over the
+// *current* cluster ids, so splits and merges only move the keys whose
+// winning cluster changed; `repair()` re-homes those after topology changes
+// (in a real deployment the clusters involved in a split/merge would do
+// this inline; the cost charged is the same).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::apps {
+
+class KeyValueService {
+ public:
+  explicit KeyValueService(core::NowSystem& system) : system_(system) {}
+
+  struct PutResult {
+    bool stored = false;
+    /// Cluster the key was routed to.
+    ClusterId home = ClusterId::invalid();
+    /// True iff the home quorum could certify the write (honest majority).
+    bool certified = false;
+    Cost cost;
+  };
+
+  struct GetResult {
+    bool found = false;
+    /// True iff the answer is attested by an honest-majority quorum (a
+    /// Byzantine-majority home could forge it — ground truth check).
+    bool authentic = false;
+    std::uint64_t value = 0;
+    ClusterId home = ClusterId::invalid();
+    Cost cost;
+  };
+
+  /// Stores key -> value at the rendezvous cluster, routing from a random
+  /// contact cluster over the overlay.
+  PutResult put(std::uint64_t key, std::uint64_t value);
+
+  /// Looks the key up at its current rendezvous cluster.
+  GetResult get(std::uint64_t key);
+
+  /// Re-homes every entry whose rendezvous winner changed (after splits,
+  /// merges, or cluster membership drift). Returns the number of moved
+  /// entries; migration messages are charged to the system's metrics.
+  std::size_t repair();
+
+  [[nodiscard]] std::size_t stored_entries() const;
+
+ private:
+  /// Rendezvous winner among live clusters for this key.
+  [[nodiscard]] ClusterId key_home(std::uint64_t key) const;
+
+  /// Overlay BFS route cost from `from` to `to`, charged to metrics.
+  /// Returns the hop count (SIZE_MAX if unreachable).
+  std::size_t charge_route(ClusterId from, ClusterId to,
+                           std::uint64_t units);
+
+  core::NowSystem& system_;
+  /// shard[cluster][key] = value. Simulation-level truth of what each
+  /// cluster's members jointly store.
+  std::map<ClusterId, std::map<std::uint64_t, std::uint64_t>> shards_;
+};
+
+}  // namespace now::apps

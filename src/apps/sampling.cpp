@@ -1,0 +1,23 @@
+#include "apps/sampling.hpp"
+
+#include "cluster/rand_num.hpp"
+
+namespace now::apps {
+
+SampleReport sample_node(core::NowSystem& system, ClusterId start) {
+  OpScope scope(system.metrics(), "sample");
+  SampleReport report;
+
+  const auto walk = system.rand_cl_from(start);
+  const auto& chosen = system.state().cluster_at(walk.cluster);
+  const auto draw = cluster::rand_num_value(
+      chosen.size(), chosen.size(), system.params().rand_num_mode,
+      system.metrics(), system.rng());
+  report.node = chosen.member_at(draw.value);
+
+  system.metrics().add_rounds(walk.cost.rounds + draw.cost.rounds);
+  report.cost = scope.cost();
+  return report;
+}
+
+}  // namespace now::apps

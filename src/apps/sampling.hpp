@@ -1,0 +1,22 @@
+// Uniform node sampling (Section 6: "a sampling algorithm relying on our
+// protocol would have a polylog(n) message complexity per sample").
+//
+// randCl picks a cluster with probability |C|/n; randNum inside the chosen
+// cluster picks a member uniformly — the composition is a uniform node.
+#pragma once
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::apps {
+
+struct SampleReport {
+  NodeId node = NodeId::invalid();
+  Cost cost;
+};
+
+/// Draws one uniformly random live node, charging polylog cost. `start` is
+/// the cluster initiating the walk (any live cluster; e.g. the caller's).
+SampleReport sample_node(core::NowSystem& system, ClusterId start);
+
+}  // namespace now::apps

@@ -1,0 +1,25 @@
+// No-shuffle baseline: NOW with the exchange step disabled.
+//
+// Section 3.3 explains why shuffling is not optional: without it "the
+// adversary chooses a specific cluster and keeps adding and removing the
+// Byzantine nodes until they fall into that cluster". This wrapper exists
+// so benches and tests can run that exact experiment — same join placement
+// (randCl), same split/merge, no exchange on join or leave — and watch the
+// join-leave attack take the victim cluster past the 1/3 threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::baseline {
+
+/// NOW parameters with shuffling disabled (everything else untouched).
+[[nodiscard]] inline core::NowParams no_shuffle_params(
+    core::NowParams params) {
+  params.shuffle_enabled = false;
+  return params;
+}
+
+}  // namespace now::baseline

@@ -1,0 +1,49 @@
+#include "baseline/static_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace now::baseline {
+
+namespace {
+
+core::NowParams freeze_partition(core::NowParams params) {
+  // Push both thresholds out of reach: clusters never split, never merge.
+  // l is the only knob controlling them, so pick it enormous...
+  params.l = 1e9;
+  // ... and sample walks exactly (the simulated walk's acceptance step uses
+  // the split threshold as its size bound, which no longer means anything).
+  params.walk_mode = core::WalkMode::kSampleExact;
+  return params;
+}
+
+}  // namespace
+
+StaticPartitionSystem::StaticPartitionSystem(const core::NowParams& params,
+                                             Metrics& metrics,
+                                             std::uint64_t seed)
+    : system_(freeze_partition(params), metrics, seed) {}
+
+void StaticPartitionSystem::initialize(std::size_t n0,
+                                       std::size_t byzantine_count) {
+  system_.initialize(n0, byzantine_count, core::InitTopology::kSparseRandom);
+}
+
+std::pair<NodeId, core::OpReport> StaticPartitionSystem::join(
+    bool byzantine_node) {
+  return system_.join(byzantine_node);
+}
+
+core::OpReport StaticPartitionSystem::leave(NodeId node) {
+  return system_.leave(node);
+}
+
+std::size_t StaticPartitionSystem::max_cluster_size() const {
+  std::size_t best = 0;
+  for (const auto& [id, c] : system_.state().clusters) {
+    best = std::max(best, c.size());
+  }
+  return best;
+}
+
+}  // namespace now::baseline

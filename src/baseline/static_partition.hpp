@@ -1,0 +1,44 @@
+// Static-cluster-count baseline (the prior work NOW improves on:
+// Awerbuch–Scheideler [6, 7] and Scheideler [31] assume the network size
+// varies by at most a constant factor, so they can keep the *number* of
+// clusters fixed).
+//
+// We reuse the NOW machinery — same join/leave shuffling, same randCl/
+// randNum/exchange cost model — but never split or merge. When n grows from
+// sqrt(N) to N the fixed #C forces cluster sizes from Theta(log N) up to
+// Theta(sqrt(N) log N): per-operation cost blows up polynomially, which is
+// exactly the paper's argument for dynamic clusters (Section 1: a static
+// number of clusters "yields a significant increase in the number of nodes
+// within each cluster, leading to a high-complexity computation").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::baseline {
+
+class StaticPartitionSystem {
+ public:
+  /// `params` is interpreted as for NOW except that split/merge never fire.
+  /// Uses kSampleExact walks (cluster sizes here grow far beyond the walk
+  /// acceptance bound NOW's thresholds assume).
+  StaticPartitionSystem(const core::NowParams& params, Metrics& metrics,
+                        std::uint64_t seed);
+
+  void initialize(std::size_t n0, std::size_t byzantine_count);
+  std::pair<NodeId, core::OpReport> join(bool byzantine_node);
+  core::OpReport leave(NodeId node);
+
+  [[nodiscard]] const core::NowSystem& system() const { return system_; }
+  [[nodiscard]] core::NowSystem& system() { return system_; }
+  [[nodiscard]] std::size_t num_nodes() const { return system_.num_nodes(); }
+  [[nodiscard]] std::size_t max_cluster_size() const;
+
+ private:
+  core::NowSystem system_;
+};
+
+}  // namespace now::baseline

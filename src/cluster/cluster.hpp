@@ -1,0 +1,79 @@
+// Cluster membership (Section 3.1).
+//
+// A cluster is a set of nodes that are pairwise connected and know each
+// other's identities; it is also a vertex of the OVER overlay. All protocol
+// decisions of a cluster are taken collectively (randNum) and all statements
+// a cluster makes to the outside are believed only when more than half of
+// its members say the same thing (cluster/intercluster.hpp) — which is sound
+// exactly while > 2/3 of the members are honest, the invariant NOW maintains.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace now::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterId id) : id_(id) {}
+
+  [[nodiscard]] ClusterId id() const { return id_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return std::binary_search(members_.begin(), members_.end(), node);
+  }
+
+  void add_member(NodeId node) {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+    assert((it == members_.end() || *it != node) && "member already present");
+    members_.insert(it, node);
+  }
+
+  void remove_member(NodeId node) {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+    assert(it != members_.end() && *it == node && "member not present");
+    members_.erase(it);
+  }
+
+  /// Member at sorted position `index` (used with randNum for uniform picks).
+  [[nodiscard]] NodeId member_at(std::size_t index) const {
+    assert(index < members_.size());
+    return members_[index];
+  }
+
+  /// Uniformly random member.
+  [[nodiscard]] NodeId random_member(Rng& rng) const {
+    assert(!members_.empty());
+    return members_[rng.uniform(members_.size())];
+  }
+
+ private:
+  ClusterId id_;
+  std::vector<NodeId> members_;  // sorted
+};
+
+/// Number of `cluster`'s members that belong to `byzantine`.
+[[nodiscard]] inline std::size_t byzantine_count(
+    const Cluster& cluster, const std::set<NodeId>& byzantine) {
+  std::size_t count = 0;
+  for (const NodeId m : cluster.members())
+    if (byzantine.contains(m)) ++count;
+  return count;
+}
+
+/// Fraction of Byzantine members (p_C in the paper's analysis, Section 4).
+[[nodiscard]] inline double byzantine_fraction(
+    const Cluster& cluster, const std::set<NodeId>& byzantine) {
+  if (cluster.size() == 0) return 0.0;
+  return static_cast<double>(byzantine_count(cluster, byzantine)) /
+         static_cast<double>(cluster.size());
+}
+
+}  // namespace now::cluster

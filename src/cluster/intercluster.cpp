@@ -1,0 +1,25 @@
+#include "cluster/intercluster.hpp"
+
+namespace now::cluster {
+
+Cost cluster_send_cost(std::size_t from_size, std::size_t to_size,
+                       std::uint64_t units) {
+  return Cost{static_cast<std::uint64_t>(from_size) *
+                  static_cast<std::uint64_t>(to_size) * units,
+              1};
+}
+
+ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,
+                                std::uint64_t units,
+                                const std::set<NodeId>& byzantine,
+                                Metrics& metrics) {
+  const Cost cost = cluster_send_cost(from.size(), to.size(), units);
+  metrics.add_messages(cost.messages);
+
+  const std::size_t byz = byzantine_count(from, byzantine);
+  const std::size_t honest = from.size() - byz;
+  const std::size_t majority = from.size() / 2 + 1;
+  return ClusterSendOutcome{honest >= majority, byz >= majority, cost};
+}
+
+}  // namespace now::cluster

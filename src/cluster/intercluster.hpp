@@ -1,0 +1,43 @@
+// Inter-cluster communication with the majority rule (Sections 3.1–3.2).
+//
+// "A node receiving a message from all the nodes of a particular cluster
+//  considers this message valid if and only if it receives the same message
+//  from more than half of the nodes of this cluster."
+//
+// Sending one logical message of `units` words from cluster C to cluster D
+// therefore costs |C| * |D| * units unit messages and one round. The message
+// is accepted iff > |C|/2 members say the same thing — guaranteed while C has
+// an honest majority; conversely a Byzantine-majority cluster can forge.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "cluster/cluster.hpp"
+
+namespace now::cluster {
+
+struct ClusterSendOutcome {
+  /// The honest payload reached the majority threshold and was accepted.
+  bool accepted = false;
+  /// The Byzantine members alone could have forged an accepted message.
+  bool forgeable = false;
+  /// Full cost (messages already charged to metrics; rounds returned for the
+  /// caller's critical-path accounting, always 1).
+  Cost cost;
+};
+
+/// Cost of one logical cluster-to-cluster message.
+[[nodiscard]] Cost cluster_send_cost(std::size_t from_size,
+                                     std::size_t to_size, std::uint64_t units);
+
+/// Performs one logical message from `from` to `to`: charges the messages to
+/// `metrics` and reports acceptance under the > 1/2 rule.
+ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,
+                                std::uint64_t units,
+                                const std::set<NodeId>& byzantine,
+                                Metrics& metrics);
+
+}  // namespace now::cluster

@@ -1,0 +1,204 @@
+#include "cluster/rand_num.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "agreement/phase_king.hpp"
+
+namespace now::cluster {
+
+namespace {
+
+using Opening = std::pair<NodeId, std::uint64_t>;  // (contributor, value)
+
+}  // namespace
+
+RandNumResult run_rand_num(std::span<const NodeId> members,
+                           const std::set<NodeId>& byzantine,
+                           std::uint64_t r, RandNumMode mode,
+                           RandNumByz behavior, Metrics& metrics, Rng& rng) {
+  assert(r > 0);
+  std::vector<NodeId> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t s = sorted.size();
+
+  std::vector<NodeId> honest;
+  for (const NodeId id : sorted)
+    if (!byzantine.contains(id)) honest.push_back(id);
+  assert(!honest.empty() && "randNum requires at least one honest member");
+
+  RandNumResult result;
+  if (s == 1) {
+    result.value = rng.uniform(r);
+    result.agreement = true;
+    return result;
+  }
+
+  // --- Round 1: commit. Contributions are fixed here (no rushing: reveal
+  // decisions later cannot depend on honest values).
+  std::map<NodeId, std::uint64_t> contribution;
+  std::map<NodeId, bool> committed;
+  for (const NodeId id : sorted) {
+    const bool is_byz = byzantine.contains(id);
+    bool participates = true;
+    std::uint64_t c = rng.uniform(r);
+    if (is_byz) {
+      switch (behavior) {
+        case RandNumByz::kFollow:
+          break;
+        case RandNumByz::kSilent:
+          participates = false;
+          break;
+        case RandNumByz::kBiased:
+          c = 0;
+          break;
+        case RandNumByz::kSelectiveReveal:
+          break;
+      }
+    }
+    committed[id] = participates;
+    if (participates) {
+      contribution[id] = c;
+      metrics.add_messages(s - 1);  // broadcast commitment
+      result.messages += s - 1;
+    }
+  }
+  metrics.add_rounds(1);
+  result.rounds += 1;
+
+  // --- Round 2: reveal. view[i] = openings member i received (incl. own).
+  std::map<NodeId, std::vector<Opening>> view;
+  for (const NodeId id : sorted) view[id] = {};
+  for (const NodeId id : sorted) {
+    if (!committed.at(id)) continue;
+    const bool selective = byzantine.contains(id) &&
+                           behavior == RandNumByz::kSelectiveReveal;
+    view.at(id).emplace_back(id, contribution.at(id));
+    for (const NodeId peer : sorted) {
+      if (peer == id) continue;
+      if (selective && !rng.bernoulli(0.5)) continue;  // withhold from peer
+      metrics.add_messages(1);
+      result.messages += 1;
+      view.at(peer).emplace_back(id, contribution.at(id));
+    }
+  }
+  metrics.add_rounds(1);
+  result.rounds += 1;
+
+  // --- Per-member accepted sets.
+  std::map<NodeId, std::vector<Opening>> accepted;
+  if (mode == RandNumMode::kFast) {
+    // Fast path: accept exactly what you saw.
+    for (const NodeId id : honest) {
+      accepted[id] = view.at(id);
+      std::sort(accepted[id].begin(), accepted[id].end());
+    }
+  } else {
+    // --- Round 3: echo. Honest members re-broadcast their views; Byzantine
+    // members echo only when following the protocol.
+    std::map<NodeId, std::vector<std::vector<Opening>>> echoes_received;
+    for (const NodeId id : sorted) echoes_received[id] = {};
+    for (const NodeId id : sorted) {
+      const bool echoes = !byzantine.contains(id) ||
+                          behavior == RandNumByz::kFollow;
+      if (!echoes) continue;
+      const auto& own_view = view.at(id);
+      for (const NodeId peer : sorted) {
+        if (peer == id) continue;
+        const auto units =
+            static_cast<std::uint64_t>(std::max<std::size_t>(1, own_view.size()));
+        metrics.add_messages(units);
+        result.messages += units;
+        echoes_received.at(peer).push_back(own_view);
+      }
+    }
+    metrics.add_rounds(1);
+    result.rounds += 1;
+
+    const std::size_t majority = s / 2 + 1;
+    for (const NodeId id : honest) {
+      std::map<Opening, std::size_t> tally;
+      for (const Opening& o : view.at(id)) tally[o] += 1;  // own view counts
+      for (const auto& echo : echoes_received.at(id)) {
+        for (const Opening& o : echo) tally[o] += 1;
+      }
+      auto& acc = accepted[id];
+      for (const auto& [opening, count] : tally) {
+        if (count >= majority) acc.push_back(opening);
+      }
+      std::sort(acc.begin(), acc.end());
+    }
+  }
+
+  // --- Local values + agreement check.
+  std::map<NodeId, std::uint64_t> values;
+  for (const NodeId id : honest) {
+    std::uint64_t sum = 0;
+    for (const auto& [who, c] : accepted.at(id)) sum = (sum + c) % r;
+    values[id] = sum;
+  }
+  result.value = values.at(honest.front());
+  result.agreement = std::all_of(
+      honest.begin(), honest.end(),
+      [&](NodeId id) { return values.at(id) == result.value; });
+
+  // Robust mode resolves any residual divergence (possible only with
+  // echo-equivocation, which the behaviors above do not produce, but the
+  // fallback is part of the protocol): one Byzantine agreement per contested
+  // contribution, charged at the phase-king bound.
+  if (mode == RandNumMode::kRobust && !result.agreement) {
+    std::set<Opening> all_openings;
+    std::map<Opening, std::size_t> support;
+    for (const NodeId id : honest) {
+      for (const Opening& o : accepted.at(id)) {
+        all_openings.insert(o);
+        support[o] += 1;
+      }
+    }
+    std::uint64_t sum = 0;
+    for (const Opening& o : all_openings) {
+      bool contested = false;
+      for (const NodeId id : honest) {
+        const auto& acc = accepted.at(id);
+        if (!std::binary_search(acc.begin(), acc.end(), o)) contested = true;
+      }
+      if (contested) {
+        const Cost ba = agreement::phase_king_cost_bound(s);
+        metrics.add_messages(ba.messages);
+        metrics.add_rounds(ba.rounds);
+        result.messages += ba.messages;
+        result.rounds += ba.rounds;
+      }
+      if (2 * support.at(o) > honest.size()) sum = (sum + o.second) % r;
+    }
+    result.value = sum;
+    result.agreement = true;
+  }
+  return result;
+}
+
+Cost rand_num_cost_model(std::size_t size, RandNumMode mode) {
+  if (size <= 1) return Cost{0, 0};
+  const auto s = static_cast<std::uint64_t>(size);
+  Cost cost;
+  cost.messages = 2 * s * (s - 1);  // commit + reveal
+  cost.rounds = 2;
+  if (mode == RandNumMode::kRobust) {
+    cost.messages += s * (s - 1) * s;  // echo of full views
+    cost.rounds += 1;
+  }
+  return cost;
+}
+
+BulkDraw rand_num_value(std::size_t cluster_size, std::uint64_t r,
+                        RandNumMode mode, Metrics& metrics, Rng& rng) {
+  assert(r > 0);
+  BulkDraw draw;
+  draw.cost = rand_num_cost_model(cluster_size, mode);
+  metrics.add_messages(draw.cost.messages);
+  draw.value = rng.uniform(r);
+  return draw;
+}
+
+}  // namespace now::cluster

@@ -1,0 +1,91 @@
+// randNum — the distributed random number generator of a cluster
+// (Section 3.1: "enabling the nodes of a cluster to agree on a common
+// integer chosen uniformly at random from the interval (0, r)").
+//
+// Protocol (reconstruction; the long version [16] has the original):
+//   round 1 (commit): every member picks a contribution c_i uniform in
+//       [0, r) and broadcasts a binding commitment inside the cluster;
+//   round 2 (reveal): members open their commitments;
+//   round 3 (echo, kRobust mode only): members re-broadcast the set of
+//       openings they received; a contribution is accepted iff more than
+//       half of the members vouch for one consistent opening.
+// The agreed value is (sum of accepted contributions) mod r.
+//
+// Unbiasedness: rounds are synchronous without rushing (a message sent in
+// round t depends only on state before t), so a Byzantine member must decide
+// whether/what to reveal before seeing any honest opening; since at least one
+// honest contribution is always accepted, the sum is uniform.
+//
+// Modes:
+//   * kFast — commit + reveal only; 2 rounds, 2|C|(|C|-1) unit messages =
+//     O(log^2 N), the cost the paper states. Sound against silent/lying
+//     Byzantine members but an *equivocating* member (revealing to only some
+//     honest members) can make honest views diverge.
+//   * kRobust — adds the echo round (O(|C|^3) units) and, when the echo
+//     tallies straddle the majority threshold, a phase-king fallback per
+//     contested contribution. Never diverges while honest members are a
+//     strict majority. The bench_ablation binary quantifies the price.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace now::cluster {
+
+enum class RandNumMode { kFast, kRobust };
+
+/// Byzantine behavior inside randNum.
+enum class RandNumByz {
+  kFollow,           // behave correctly (still counted Byzantine elsewhere)
+  kSilent,           // commit nothing, reveal nothing
+  kBiased,           // always contribute 0 (tries to bias the sum)
+  kSelectiveReveal,  // reveal to a random half of the members only
+};
+
+struct RandNumResult {
+  /// The value honest members computed, in [0, r). When views diverge
+  /// (possible only in kFast mode under equivocation) this is the value of
+  /// the lowest-id honest member.
+  std::uint64_t value = 0;
+  /// True iff every honest member computed the same value.
+  bool agreement = false;
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Message-level randNum among `members`. Requires at least one honest
+/// member. Charges all messages and rounds to `metrics`.
+[[nodiscard]] RandNumResult run_rand_num(std::span<const NodeId> members,
+                                         const std::set<NodeId>& byzantine,
+                                         std::uint64_t r, RandNumMode mode,
+                                         RandNumByz behavior, Metrics& metrics,
+                                         Rng& rng);
+
+/// Cost charged by the bulk-accounting path for one randNum call in a
+/// cluster of `size` members (matches the message-level fast/robust counts;
+/// tests assert this).
+[[nodiscard]] Cost rand_num_cost_model(std::size_t size, RandNumMode mode);
+
+struct BulkDraw {
+  std::uint64_t value = 0;
+  Cost cost;  // rounds are *returned*, not charged (see below)
+};
+
+/// Bulk-accounting randNum: draws the value with the same distribution the
+/// message-level protocol produces for honest-majority clusters (uniform),
+/// charges rand_num_cost_model's *messages* to `metrics`, and returns the
+/// full cost. Rounds are returned rather than charged because callers
+/// compose sub-protocols both sequentially (sum of rounds) and in parallel
+/// (max of rounds); the enclosing NOW operation charges the critical path.
+/// This is what the NOW core calls on every hop of every walk.
+[[nodiscard]] BulkDraw rand_num_value(std::size_t cluster_size,
+                                      std::uint64_t r, RandNumMode mode,
+                                      Metrics& metrics, Rng& rng);
+
+}  // namespace now::cluster

@@ -1,0 +1,28 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace now {
+
+double log_n(double n) { return std::max(1.0, std::log(std::max(n, 1.0))); }
+
+double log_pow(double n, double exponent) {
+  return std::pow(log_n(n), exponent);
+}
+
+std::size_t ceil_log_pow(double n, double exponent, std::size_t floor_value) {
+  const auto value = static_cast<std::size_t>(std::ceil(log_pow(n, exponent)));
+  return std::max(value, floor_value);
+}
+
+std::uint64_t isqrt(std::uint64_t n) {
+  if (n == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
+  // Correct the float estimate in both directions.
+  while (r > 0 && r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+}  // namespace now

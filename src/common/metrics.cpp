@@ -1,0 +1,66 @@
+#include "common/metrics.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace now {
+
+void Metrics::add_messages(std::uint64_t count) {
+  total_.messages += count;
+  for (auto& frame : stack_) frame.cost.messages += count;
+}
+
+void Metrics::add_rounds(std::uint64_t count) {
+  total_.rounds += count;
+  for (auto& frame : stack_) frame.cost.rounds += count;
+}
+
+Cost Metrics::operation_total(const std::string& label) const {
+  Cost sum;
+  if (const auto it = completed_.find(label); it != completed_.end()) {
+    for (const auto& cost : it->second) sum += cost;
+  }
+  return sum;
+}
+
+std::vector<Cost> Metrics::operation_samples(const std::string& label) const {
+  if (const auto it = completed_.find(label); it != completed_.end()) {
+    return it->second;
+  }
+  return {};
+}
+
+std::vector<std::string> Metrics::labels() const {
+  std::vector<std::string> result;
+  result.reserve(completed_.size());
+  for (const auto& [label, samples] : completed_) result.push_back(label);
+  return result;
+}
+
+std::size_t Metrics::operation_count(const std::string& label) const {
+  const auto it = completed_.find(label);
+  return it == completed_.end() ? 0 : it->second.size();
+}
+
+void Metrics::reset() {
+  assert(stack_.empty() && "reset() while operations are in flight");
+  total_ = Cost{};
+  completed_.clear();
+}
+
+OpScope::OpScope(Metrics& metrics, std::string label)
+    : metrics_(metrics), index_(metrics.stack_.size()) {
+  metrics_.stack_.push_back({std::move(label), Cost{}});
+}
+
+OpScope::~OpScope() {
+  assert(metrics_.stack_.size() == index_ + 1 &&
+         "OpScopes must be destroyed in LIFO order");
+  auto frame = std::move(metrics_.stack_.back());
+  metrics_.stack_.pop_back();
+  metrics_.completed_[frame.label].push_back(frame.cost);
+}
+
+const Cost& OpScope::cost() const { return metrics_.stack_[index_].cost; }
+
+}  // namespace now

@@ -1,0 +1,100 @@
+// Communication-cost accounting.
+//
+// The paper measures two quantities (Section 2, "Notations"):
+//   * communication cost — the number of unit-size messages exchanged
+//     ("we consider messages of identical size. Hence the communication cost
+//      is proportional to the number of bits sent"), and
+//   * round complexity — the number of successive communication rounds.
+//
+// Protocol code charges costs to a Metrics sink as it executes. Nested
+// OpScope objects attribute the charges to named operations (join, leave,
+// split, merge, randCl, exchange, ...) so benches can report per-operation
+// cost distributions exactly as Figure 2 tabulates them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace now {
+
+/// Cost of one (sub-)operation: unit messages sent and rounds consumed.
+struct Cost {
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+
+  Cost& operator+=(const Cost& other) {
+    messages += other.messages;
+    rounds += other.rounds;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+  friend bool operator==(const Cost&, const Cost&) = default;
+};
+
+/// Accumulates protocol costs, globally and per named operation.
+///
+/// Rounds compose differently from messages: sub-protocols that run
+/// sequentially add their rounds, sub-protocols that run in parallel in the
+/// same rounds must not double-count. Protocol code expresses this by calling
+/// add_messages for every unit message but add_rounds only on the sequential
+/// critical path.
+class Metrics {
+ public:
+  /// Charge `count` unit messages to the enclosing operation (if any) and to
+  /// the global totals.
+  void add_messages(std::uint64_t count);
+
+  /// Charge `count` communication rounds on the critical path.
+  void add_rounds(std::uint64_t count);
+
+  [[nodiscard]] const Cost& total() const { return total_; }
+
+  /// Sum of costs of all completed operations with this label.
+  [[nodiscard]] Cost operation_total(const std::string& label) const;
+  /// Costs of each completed operation with this label, in completion order.
+  [[nodiscard]] std::vector<Cost> operation_samples(
+      const std::string& label) const;
+  /// Labels seen so far, sorted.
+  [[nodiscard]] std::vector<std::string> labels() const;
+
+  /// Number of completed operations with this label.
+  [[nodiscard]] std::size_t operation_count(const std::string& label) const;
+
+  void reset();
+
+ private:
+  friend class OpScope;
+
+  struct Frame {
+    std::string label;
+    Cost cost;
+  };
+
+  Cost total_;
+  std::vector<Frame> stack_;
+  std::map<std::string, std::vector<Cost>> completed_;
+};
+
+/// RAII scope attributing all costs charged during its lifetime to `label`.
+/// Scopes nest; a nested scope's cost is *also* charged to its ancestors,
+/// mirroring how e.g. a join's cost includes the randCl and exchange calls it
+/// makes.
+class OpScope {
+ public:
+  OpScope(Metrics& metrics, std::string label);
+  ~OpScope();
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// Cost charged so far inside this scope.
+  [[nodiscard]] const Cost& cost() const;
+
+ private:
+  Metrics& metrics_;
+  std::size_t index_;
+};
+
+}  // namespace now

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// Every stochastic component of the reproduction (adversary choices, CTRW
+// trajectories, randNum contributions, Erdős–Rényi wiring, ...) draws from an
+// explicitly passed Rng so that whole experiments are reproducible from a
+// single seed. The generator is xoshiro256** seeded via splitmix64, which is
+// fast, has 256-bit state, and passes BigCrush — adequate for simulation
+// statistics (this is not a cryptographic RNG; randNum's *security* argument
+// lives in the protocol, not in this generator).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace now {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// UniformRandomBitGenerator interface (usable with <random> and
+  /// std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// nearly-divisionless rejection method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (> 0). Used for CTRW holding
+  /// times (per-edge rate-1 clocks).
+  double exponential(double rate);
+
+  /// Fisher–Yates shuffle of an entire span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  /// Floyd's algorithm: O(k) expected work independent of n.
+  [[nodiscard]] std::vector<std::size_t> sample_distinct(std::size_t n,
+                                                         std::size_t k);
+
+  /// Deterministically derive an independent child generator. Used to give
+  /// each protocol entity its own stream without sharing state.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace now

@@ -1,0 +1,66 @@
+// Strong identifier types shared across the NOW reproduction.
+//
+// The paper assumes every node carries an unforgeable unique identifier and
+// that clusters (the vertices of the OVER overlay) are addressable entities.
+// We model both as strongly typed integers so that a NodeId can never be
+// passed where a ClusterId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace now {
+
+/// Tagged integer id. Distinct Tag types produce unrelated, non-convertible
+/// identifier types with value semantics and total ordering.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  /// Sentinel used for "no such node/cluster".
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  static constexpr Id invalid() { return Id{kInvalid}; }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct ClusterTag {};
+
+/// Identity of a process in the dynamic network. Never reused.
+using NodeId = Id<NodeTag>;
+/// Identity of a cluster / OVER overlay vertex. Never reused.
+using ClusterId = Id<ClusterTag>;
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+/// Discrete protocol time. One TimeStep hosts one join or leave operation
+/// (plus the split/merge it induces); a step is made of polylog(N) rounds.
+using TimeStep = std::uint64_t;
+
+}  // namespace now
+
+template <typename Tag>
+struct std::hash<now::Id<Tag>> {
+  std::size_t operator()(const now::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

@@ -1,0 +1,139 @@
+// NOW — Neighbors On Watch (Section 3): the paper's primary contribution.
+//
+// NowSystem owns the cluster partition, the node -> cluster map and the OVER
+// overlay, and implements:
+//   * the initialization phase (Section 3.2): network discovery + scalable
+//     Byzantine agreement electing a representative cluster + random
+//     partition + Erdős–Rényi overlay wiring;
+//   * the maintenance phase (Section 3.3): Join / Leave (Algorithms 1–2)
+//     with node shuffling (exchange), and the induced Split / Merge.
+//
+// All communication is charged to the injected Metrics sink (messages as
+// they happen, rounds once per operation along the critical path — walks
+// and per-member swaps inside an exchange run in parallel, so their rounds
+// combine by max, not sum).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/invariants.hpp"
+#include "core/params.hpp"
+#include "core/rand_cl.hpp"
+#include "core/state.hpp"
+
+namespace now::core {
+
+/// Shape of the initial knowledge graph the discovery phase floods over.
+enum class InitTopology {
+  /// Every node initially knows every other node: the dense worst case,
+  /// where discovery costs O(n * e) = O(n^3) = O(N^{3/2}) (Figure 1).
+  kComplete,
+  /// Every node initially knows polylog(n) random nodes (the situation the
+  /// paper's model describes outside initialization).
+  kSparseRandom,
+  /// Skip the message-level flood and charge its O(n * e) cost analytically
+  /// for the sparse topology (e = n * polylog(n) / 2). The flood's outcome
+  /// is deterministic — every honest node learns every identity — so large
+  /// experiments that only need a working system use this; the Figure-1
+  /// bench measures the real flood.
+  kModeledSparse,
+};
+
+struct InitReport {
+  std::size_t n0 = 0;
+  std::size_t num_clusters = 0;
+  Cost discovery;
+  Cost quorum;
+  Cost partition;
+  Cost total;
+  bool discovery_complete = false;
+};
+
+/// Outcome of one maintenance operation (join or leave plus everything it
+/// induced).
+struct OpReport {
+  Cost cost;
+  std::size_t splits = 0;
+  std::size_t merges = 0;
+  std::size_t rejoins = 0;
+};
+
+class NowSystem {
+ public:
+  NowSystem(const NowParams& params, Metrics& metrics, std::uint64_t seed);
+
+  /// Runs the initialization phase with n0 nodes, of which `byzantine_count`
+  /// (chosen uniformly — the static adversary corrupts before any protocol
+  /// randomness exists, so a uniform choice is without loss of generality)
+  /// are Byzantine. Must be called exactly once.
+  InitReport initialize(std::size_t n0, std::size_t byzantine_count,
+                        InitTopology topology = InitTopology::kSparseRandom);
+
+  /// Join of a fresh node (Algorithm 1). The adversary decides whether the
+  /// joining node is corrupted. Returns the new node's id.
+  std::pair<NodeId, OpReport> join(bool byzantine_node);
+
+  /// Leave of `node` (Algorithm 2) — voluntary departure, crash, or
+  /// adversarially forced exit; the protocol reacts identically.
+  OpReport leave(NodeId node);
+
+  /// Several joins and leaves executed within ONE time step (the paper's
+  /// footnote *: "the analysis can be generalized to several parallel join
+  /// and leave operations"). State effects apply sequentially (the protocol
+  /// serializes conflicting cluster updates), but the operations overlap in
+  /// time, so the batch's round count is the max — not the sum — of the
+  /// individual operations'. Returns the ids of the joined nodes plus the
+  /// combined report. Leave targets must be live and distinct.
+  std::pair<std::vector<NodeId>, OpReport> step_parallel(
+      std::size_t joins, const std::vector<NodeId>& leaves,
+      bool byzantine_joiners = false);
+
+  /// randCl from `start` (exposed for tests and benches; charges costs).
+  RandClResult rand_cl_from(ClusterId start);
+
+  /// Full-cluster shuffle (Section 3.1 `exchange`); returns its cost and
+  /// records partner clusters in `partners_out` when non-null.
+  Cost exchange_all(ClusterId c, std::set<ClusterId>* partners_out = nullptr);
+
+  [[nodiscard]] const NowState& state() const { return state_; }
+  [[nodiscard]] const NowParams& params() const { return params_; }
+  [[nodiscard]] std::size_t num_nodes() const { return state_.num_nodes(); }
+  [[nodiscard]] std::size_t num_clusters() const {
+    return state_.num_clusters();
+  }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  [[nodiscard]] InvariantReport check() const {
+    return check_invariants(state_, params_, params_.shuffle_enabled);
+  }
+
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  /// Places an existing node into the partition via Algorithm 1 (used by
+  /// both fresh joins and post-merge re-joins). Returns rounds consumed.
+  std::uint64_t place_node(NodeId node, OpReport& report);
+
+  /// Split of an oversized cluster (Section 3.3). Returns rounds consumed.
+  std::uint64_t do_split(ClusterId c, OpReport& report);
+
+  /// Merge/dissolution of an undersized cluster. Returns rounds consumed.
+  std::uint64_t do_merge(ClusterId c, OpReport& report);
+
+  /// Overlay sampler adapter: randCl walk on behalf of `requester`,
+  /// accumulating the max parallel rounds into *rounds_max.
+  over::Overlay::Sampler overlay_sampler(std::uint64_t* rounds_max);
+
+  NowParams params_;
+  Metrics& metrics_;
+  Rng rng_;
+  NowState state_;
+  bool initialized_ = false;
+};
+
+}  // namespace now::core

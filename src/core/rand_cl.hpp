@@ -1,0 +1,51 @@
+// randCl — random cluster selection by biased continuous-time random walk
+// (Section 3.1 and its footnote ‡).
+//
+// Goal: pick a cluster with probability |C| / n (so that "pick a cluster
+// with randCl, then a member with randNum" samples a *node* uniformly).
+//
+// Mechanism, as in the paper:
+//   * run a CTRW on the overlay (one rate-1 clock per overlay edge). Its
+//     stationary law is uniform over clusters, whatever the degrees — this
+//     is why the walk is continuous-time;
+//   * the walking token is held by a whole cluster; each hop the cluster
+//     collectively draws the holding time + next neighbor via randNum and
+//     forwards the token with an inter-cluster message (accepted only when
+//     more than half of the sending cluster agrees);
+//   * when the walk's duration expires at cluster C, draw u via randNum and
+//     accept with probability |C| / max|C| (size-biasing); otherwise start a
+//     fresh CTRW from C.
+//
+// Costs (paper): expected O(log^5 N) messages and O(log^4 N) rounds. Our
+// measured counts (bench_randcl) sit below those bounds because the paper
+// budgets O(log n) whp restarts where the expectation is O(1).
+#pragma once
+
+#include <cstddef>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "core/state.hpp"
+
+namespace now::core {
+
+struct RandClResult {
+  ClusterId cluster = ClusterId::invalid();
+  /// Clusters visited across all restarts.
+  std::size_t hops = 0;
+  /// Completed-but-rejected CTRWs before the accepted one.
+  std::size_t restarts = 0;
+  /// Messages charged / rounds on the walk's critical path.
+  Cost cost;
+};
+
+/// Runs randCl from `start`. Charges messages to `metrics`; rounds are
+/// returned in `cost` (walks run in parallel inside exchange, so the caller
+/// owns round accounting). `start` must be a live cluster.
+[[nodiscard]] RandClResult run_rand_cl(const NowState& state,
+                                       const NowParams& params,
+                                       ClusterId start, Metrics& metrics,
+                                       Rng& rng);
+
+}  // namespace now::core

@@ -1,0 +1,131 @@
+// Shared mutable state of a NOW deployment: the cluster partition, the
+// node -> cluster map, the OVER overlay, and the (simulation-only) ground
+// truth of which nodes the adversary controls.
+//
+// Protocol code never *reads* the byzantine set to make decisions — honest
+// logic is oblivious to it. It is consulted only (a) by primitives whose
+// outcome genuinely depends on adversarial membership (e.g. the inter-
+// cluster majority rule) and (b) by invariant checks and experiment metrics,
+// mirroring the role of the adversary's full knowledge in the paper's model.
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "over/overlay.hpp"
+
+namespace now::core {
+
+struct NowState {
+  explicit NowState(const over::OverParams& over_params)
+      : overlay(over_params) {}
+
+  std::map<ClusterId, cluster::Cluster> clusters;
+  std::map<NodeId, ClusterId> node_home;
+  std::set<NodeId> byzantine;
+  over::Overlay overlay;
+
+  /// Flat index of live nodes for O(1) uniform sampling (swap-and-pop on
+  /// removal). Maintained by register_node / unregister_node.
+  std::vector<NodeId> node_list;
+  std::map<NodeId, std::size_t> node_pos;
+
+  NodeId::value_type next_node_id = 0;
+  ClusterId::value_type next_cluster_id = 0;
+
+  [[nodiscard]] std::size_t num_nodes() const { return node_home.size(); }
+  [[nodiscard]] std::size_t num_clusters() const { return clusters.size(); }
+
+  [[nodiscard]] NodeId fresh_node_id() { return NodeId{next_node_id++}; }
+  [[nodiscard]] ClusterId fresh_cluster_id() {
+    return ClusterId{next_cluster_id++};
+  }
+
+  [[nodiscard]] const cluster::Cluster& cluster_at(ClusterId id) const {
+    return clusters.at(id);
+  }
+  [[nodiscard]] cluster::Cluster& cluster_at(ClusterId id) {
+    return clusters.at(id);
+  }
+
+  [[nodiscard]] ClusterId home_of(NodeId node) const {
+    return node_home.at(node);
+  }
+
+  /// Uniformly random cluster (used for join contact points; any cluster of
+  /// the overlay may be contacted).
+  [[nodiscard]] ClusterId random_cluster_uniform(Rng& rng) const {
+    assert(!clusters.empty());
+    auto it = clusters.begin();
+    std::advance(it,
+                 static_cast<std::ptrdiff_t>(rng.uniform(clusters.size())));
+    return it->first;
+  }
+
+  /// Cluster drawn with probability |C| / n — the biased CTRW's limit law.
+  [[nodiscard]] ClusterId random_cluster_size_biased(Rng& rng) const {
+    assert(num_nodes() > 0);
+    std::uint64_t target = rng.uniform(num_nodes());
+    for (const auto& [id, c] : clusters) {
+      const auto size = static_cast<std::uint64_t>(c.size());
+      if (target < size) return id;
+      target -= size;
+    }
+    assert(false && "cluster sizes inconsistent with node count");
+    return clusters.begin()->first;
+  }
+
+  /// Moves a node between clusters, keeping node_home consistent.
+  void move_node(NodeId node, ClusterId from, ClusterId to) {
+    assert(home_of(node) == from);
+    cluster_at(from).remove_member(node);
+    cluster_at(to).add_member(node);
+    node_home[node] = to;
+  }
+
+  /// Total number of nodes that are Byzantine.
+  [[nodiscard]] std::size_t byzantine_total() const {
+    return byzantine.size();
+  }
+
+  /// Adds a node to the sampling index (on join / initialization).
+  void register_node(NodeId node) {
+    node_pos[node] = node_list.size();
+    node_list.push_back(node);
+  }
+
+  /// Removes a node from the sampling index (on leave).
+  void unregister_node(NodeId node) {
+    const auto it = node_pos.find(node);
+    assert(it != node_pos.end());
+    const std::size_t pos = it->second;
+    const NodeId last = node_list.back();
+    node_list[pos] = last;
+    node_pos[last] = pos;
+    node_list.pop_back();
+    node_pos.erase(it);
+  }
+
+  /// Uniformly random live node.
+  [[nodiscard]] NodeId random_node(Rng& rng) const {
+    assert(!node_list.empty());
+    return node_list[rng.uniform(node_list.size())];
+  }
+
+  /// Uniformly random *honest* live node (rejection sampling; cheap while
+  /// the honest fraction is bounded away from zero).
+  [[nodiscard]] NodeId random_honest_node(Rng& rng) const {
+    assert(node_list.size() > byzantine.size());
+    while (true) {
+      const NodeId candidate = random_node(rng);
+      if (!byzantine.contains(candidate)) return candidate;
+    }
+  }
+};
+
+}  // namespace now::core

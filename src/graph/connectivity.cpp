@@ -1,0 +1,67 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+namespace now::graph {
+
+std::vector<std::vector<Vertex>> connected_components(const Graph& g) {
+  std::set<Vertex> unvisited;
+  for (const Vertex v : g.vertices()) unvisited.insert(v);
+
+  std::vector<std::vector<Vertex>> components;
+  while (!unvisited.empty()) {
+    const Vertex root = *unvisited.begin();
+    std::vector<Vertex> component;
+    std::deque<Vertex> frontier{root};
+    unvisited.erase(root);
+    while (!frontier.empty()) {
+      const Vertex v = frontier.front();
+      frontier.pop_front();
+      component.push_back(v);
+      for (const Vertex u : g.neighbors(v)) {
+        if (unvisited.erase(u) > 0) frontier.push_back(u);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).size() == 1;
+}
+
+std::map<Vertex, std::size_t> bfs_distances(const Graph& g, Vertex source) {
+  std::map<Vertex, std::size_t> dist;
+  dist[source] = 0;
+  std::deque<Vertex> frontier{source};
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    const std::size_t d = dist.at(v);
+    for (const Vertex u : g.neighbors(v)) {
+      if (dist.emplace(u, d + 1).second) frontier.push_back(u);
+    }
+  }
+  return dist;
+}
+
+std::size_t diameter(const Graph& g) {
+  constexpr auto kInf = std::numeric_limits<std::size_t>::max();
+  const auto verts = g.vertices();
+  if (verts.empty()) return kInf;
+  std::size_t best = 0;
+  for (const Vertex v : verts) {
+    const auto dist = bfs_distances(g, v);
+    if (dist.size() != verts.size()) return kInf;  // disconnected
+    for (const auto& [u, d] : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace now::graph

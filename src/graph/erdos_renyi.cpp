@@ -1,0 +1,53 @@
+#include "graph/erdos_renyi.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace now::graph {
+
+void generate_erdos_renyi(Graph& g, std::span<const Vertex> vertices, double p,
+                          Rng& rng) {
+  assert(p >= 0.0 && p <= 1.0);
+  for (const Vertex v : vertices) g.add_vertex(v);
+  if (p <= 0.0 || vertices.size() < 2) return;
+
+  if (p >= 1.0) {
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+      for (std::size_t j = i + 1; j < vertices.size(); ++j)
+        g.add_edge(vertices[i], vertices[j]);
+    return;
+  }
+
+  // Geometric skip sampling over the linearized strict upper triangle:
+  // index k enumerates pairs (i, j), i < j; the gap between successive edges
+  // is geometric with parameter p.
+  const double log1mp = std::log1p(-p);
+  const std::size_t n = vertices.size();
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  std::size_t k = 0;
+  while (true) {
+    const double u = 1.0 - rng.uniform01();  // in (0, 1]
+    const auto skip = static_cast<std::size_t>(std::log(u) / log1mp);
+    k += skip;
+    if (k >= total_pairs) break;
+    // Decode pair index k -> (i, j). Row i starts at offset i*n - i*(i+3)/2...
+    // simpler: walk rows; rows shrink, so use closed form via quadratic.
+    const double nd = static_cast<double>(n);
+    const double kd = static_cast<double>(k);
+    auto i = static_cast<std::size_t>(
+        nd - 2 - std::floor(std::sqrt(-8.0 * kd + 4.0 * nd * (nd - 1) - 7.0) /
+                                2.0 -
+                            0.5));
+    // Guard against floating point off-by-one at row boundaries.
+    auto row_start = [n](std::size_t row) {
+      return row * (2 * n - row - 1) / 2;
+    };
+    while (i > 0 && row_start(i) > k) --i;
+    while (row_start(i + 1) <= k) ++i;
+    const std::size_t j = i + 1 + (k - row_start(i));
+    g.add_edge(vertices[i], vertices[j]);
+    ++k;
+  }
+}
+
+}  // namespace now::graph

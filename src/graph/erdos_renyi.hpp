@@ -1,0 +1,22 @@
+// Erdős–Rényi random graph generation.
+//
+// NOW's initialization wires the overlay "for each pair of clusters ... with
+// probability p" (Section 3.2); OVER keeps the evolving graph close to this
+// ensemble. We provide the exact G(V, p) sampler plus the skip-sampling
+// variant that is O(E) instead of O(V^2) for sparse p.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace now::graph {
+
+/// Samples G(vertices, p): every unordered pair becomes an edge independently
+/// with probability p. Vertices are added to `g` (which should be empty).
+/// Uses geometric skip-sampling, O(V + E) expected time.
+void generate_erdos_renyi(Graph& g, std::span<const Vertex> vertices, double p,
+                          Rng& rng);
+
+}  // namespace now::graph

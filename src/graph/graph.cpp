@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now::graph {
+
+namespace {
+
+/// Inserts value into a sorted vector; returns false if already present.
+bool sorted_insert(std::vector<Vertex>& vec, Vertex value) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), value);
+  if (it != vec.end() && *it == value) return false;
+  vec.insert(it, value);
+  return true;
+}
+
+/// Erases value from a sorted vector; returns false if absent.
+bool sorted_erase(std::vector<Vertex>& vec, Vertex value) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), value);
+  if (it == vec.end() || *it != value) return false;
+  vec.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool Graph::add_vertex(Vertex v) {
+  return adjacency_.emplace(v, std::vector<Vertex>{}).second;
+}
+
+bool Graph::remove_vertex(Vertex v) {
+  const auto it = adjacency_.find(v);
+  if (it == adjacency_.end()) return false;
+  for (const Vertex u : it->second) {
+    sorted_erase(adjacency_.at(u), v);
+    --num_edges_;
+  }
+  adjacency_.erase(it);
+  return true;
+}
+
+bool Graph::add_edge(Vertex u, Vertex v) {
+  assert(u != v && "self-loops are not allowed");
+  auto u_it = adjacency_.find(u);
+  auto v_it = adjacency_.find(v);
+  assert(u_it != adjacency_.end() && v_it != adjacency_.end() &&
+         "both endpoints must exist");
+  if (!sorted_insert(u_it->second, v)) return false;
+  sorted_insert(v_it->second, u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::remove_edge(Vertex u, Vertex v) {
+  auto u_it = adjacency_.find(u);
+  auto v_it = adjacency_.find(v);
+  if (u_it == adjacency_.end() || v_it == adjacency_.end()) return false;
+  if (!sorted_erase(u_it->second, v)) return false;
+  sorted_erase(v_it->second, u);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_vertex(Vertex v) const { return adjacency_.contains(v); }
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  const auto it = adjacency_.find(u);
+  if (it == adjacency_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), v);
+}
+
+std::size_t Graph::degree(Vertex v) const { return adjacency_.at(v).size(); }
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& [v, nbrs] : adjacency_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::size_t Graph::min_degree() const {
+  if (adjacency_.empty()) return 0;
+  std::size_t best = adjacency_.begin()->second.size();
+  for (const auto& [v, nbrs] : adjacency_) best = std::min(best, nbrs.size());
+  return best;
+}
+
+const std::vector<Vertex>& Graph::neighbors(Vertex v) const {
+  return adjacency_.at(v);
+}
+
+std::vector<Vertex> Graph::vertices() const {
+  std::vector<Vertex> result;
+  result.reserve(adjacency_.size());
+  for (const auto& [v, nbrs] : adjacency_) result.push_back(v);
+  return result;
+}
+
+Vertex Graph::random_neighbor(Vertex v, Rng& rng) const {
+  const auto& nbrs = adjacency_.at(v);
+  assert(!nbrs.empty());
+  return nbrs[rng.uniform(nbrs.size())];
+}
+
+Vertex Graph::random_vertex(Rng& rng) const {
+  assert(!adjacency_.empty());
+  auto it = adjacency_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(adjacency_.size())));
+  return it->first;
+}
+
+}  // namespace now::graph

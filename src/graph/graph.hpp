@@ -1,0 +1,65 @@
+// Dynamic undirected graph used for the OVER overlay and its analysis.
+//
+// Vertices are stable 64-bit keys (the NOW layer uses ClusterId values), so
+// vertex additions/removals never invalidate other vertices. Determinism
+// matters (whole experiments replay from one seed), so adjacency is kept in
+// ordered containers and iteration order is well defined.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace now::graph {
+
+using Vertex = std::uint64_t;
+
+/// Undirected simple graph with O(log V) vertex lookup and O(deg) edge ops.
+class Graph {
+ public:
+  /// Adds an isolated vertex. Returns false if it already exists.
+  bool add_vertex(Vertex v);
+
+  /// Removes a vertex and all incident edges. Returns false if absent.
+  bool remove_vertex(Vertex v);
+
+  /// Adds edge {u, v}. Both endpoints must exist; u != v (no self-loops).
+  /// Returns false if the edge already exists.
+  bool add_edge(Vertex u, Vertex v);
+
+  /// Removes edge {u, v}. Returns false if absent.
+  bool remove_edge(Vertex u, Vertex v);
+
+  [[nodiscard]] bool has_vertex(Vertex v) const;
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::size_t num_vertices() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Degree of v. Requires v to exist.
+  [[nodiscard]] std::size_t degree(Vertex v) const;
+  [[nodiscard]] std::size_t max_degree() const;
+  [[nodiscard]] std::size_t min_degree() const;
+
+  /// Sorted neighbors of v. Requires v to exist.
+  [[nodiscard]] const std::vector<Vertex>& neighbors(Vertex v) const;
+
+  /// All vertices in ascending key order.
+  [[nodiscard]] std::vector<Vertex> vertices() const;
+
+  /// Uniformly random neighbor of v. Requires degree(v) > 0.
+  [[nodiscard]] Vertex random_neighbor(Vertex v, Rng& rng) const;
+
+  /// Uniformly random vertex. Requires the graph to be non-empty.
+  /// O(V) — used only by tests and small-graph analysis.
+  [[nodiscard]] Vertex random_vertex(Rng& rng) const;
+
+ private:
+  std::map<Vertex, std::vector<Vertex>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace now::graph

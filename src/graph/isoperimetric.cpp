@@ -1,0 +1,45 @@
+#include "graph/isoperimetric.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace now::graph {
+
+double exact_isoperimetric_constant(const Graph& g) {
+  const auto verts = g.vertices();
+  const std::size_t n = verts.size();
+  assert(n >= 2 && n <= 24 && "exact enumeration limited to small graphs");
+
+  // Neighbor bitmasks over the vertex indexing.
+  std::vector<std::uint32_t> nbr_mask(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Vertex u : g.neighbors(verts[i])) {
+      const auto it = std::lower_bound(verts.begin(), verts.end(), u);
+      nbr_mask[i] |= 1u << static_cast<std::size_t>(it - verts.begin());
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t s = 1; s < limit - 1; ++s) {
+    const auto size = static_cast<std::size_t>(std::popcount(s));
+    if (2 * size > n) continue;
+    std::size_t cut = 0;
+    std::uint32_t rest = s;
+    while (rest != 0) {
+      const int i = std::countr_zero(rest);
+      rest &= rest - 1;
+      cut += static_cast<std::size_t>(
+          std::popcount(nbr_mask[static_cast<std::size_t>(i)] & ~s));
+    }
+    const double ratio = static_cast<double>(cut) / static_cast<double>(size);
+    best = std::min(best, ratio);
+    if (best == 0.0) return 0.0;
+  }
+  return best;
+}
+
+}  // namespace now::graph

@@ -1,0 +1,16 @@
+// Exact isoperimetric constant for small graphs (ground truth for tests).
+//
+//   I(G) = min over nonempty S with |S| <= n/2 of  E(S, S-bar) / |S|
+//
+// (Property 1 of the paper). Exponential-time subset enumeration — only for
+// n <= ~24, used to validate the spectral bounds in graph/spectral.hpp.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace now::graph {
+
+/// Exact I(G). Requires 2 <= n <= 24. Returns 0 for disconnected graphs.
+[[nodiscard]] double exact_isoperimetric_constant(const Graph& g);
+
+}  // namespace now::graph

@@ -1,0 +1,59 @@
+#include "graph/mixing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/random_walk.hpp"
+#include "graph/spectral.hpp"
+
+namespace now::graph {
+
+MixingEstimate estimate_mixing(const Graph& g, Rng& rng, double epsilon) {
+  assert(g.num_vertices() >= 2);
+  MixingEstimate est;
+  const auto expansion = estimate_expansion(g, rng);
+  // lambda_2(D - A) >= d_min * (1 - lambda_2(walk)) for near-regular
+  // graphs; we use the conservative d_min scaling.
+  est.generator_gap =
+      static_cast<double>(g.min_degree()) * expansion.spectral_gap;
+  if (est.generator_gap <= 0.0) return est;
+  est.relaxation_time = 1.0 / est.generator_gap;
+  const double n = static_cast<double>(g.num_vertices());
+  est.t_mix_bound = est.relaxation_time * std::log(n / epsilon);
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) / n;
+  est.expected_hops = est.t_mix_bound * avg_degree;
+  return est;
+}
+
+double empirical_mixing_time(const Graph& g, double epsilon) {
+  assert(g.num_vertices() >= 2);
+  const auto verts = g.vertices();
+
+  const auto worst_tv = [&](double t) {
+    double worst = 0.0;
+    for (const Vertex v : verts) {
+      worst = std::max(worst,
+                       tv_distance_from_uniform(g, ctrw_distribution(g, v, t)));
+    }
+    return worst;
+  };
+
+  // Exponential search for an upper bracket, then bisection.
+  double hi = 1.0;
+  while (worst_tv(hi) > epsilon && hi < 1e6) hi *= 2.0;
+  double lo = hi / 2.0;
+  if (hi >= 1e6) return hi;  // effectively does not mix (disconnected)
+  for (int iter = 0; iter < 30 && (hi - lo) > 1e-3 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (worst_tv(mid) > epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace now::graph

@@ -1,0 +1,46 @@
+// Mixing-time estimation for CTRWs — the quantity NOW's walk length is
+// calibrated against.
+//
+// The paper runs CTRWs "of length O(log^2 n)" and discards the residual
+// bias as O(n^-c) (Section 4). Both facts follow from the walk's mixing
+// time: for a CTRW with per-edge rate 1 the generator is L = D - A, the
+// relaxation time is 1/lambda_2(L), and
+//     t_mix(eps) <= relaxation_time * ln(n / eps).
+// These helpers expose (a) the spectral estimate of that bound and (b) the
+// exact empirical mixing time on small graphs (via uniformization), so the
+// walk_factor ablation can be grounded instead of folklore.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace now::graph {
+
+struct MixingEstimate {
+  /// Smallest positive eigenvalue of L = D - A (the spectral gap of the
+  /// CTRW generator), estimated as d_min-scaled walk gap.
+  double generator_gap = 0.0;
+  /// 1 / generator_gap.
+  double relaxation_time = 0.0;
+  /// relaxation_time * ln(n / epsilon): the classic upper bound on the
+  /// time to come within total-variation epsilon of uniform.
+  double t_mix_bound = 0.0;
+  /// Expected number of jumps a CTRW takes in t_mix_bound time
+  /// (~ t_mix_bound * average degree).
+  double expected_hops = 0.0;
+};
+
+/// Spectral mixing estimate for a connected graph with >= 2 vertices.
+/// `epsilon` is the target total-variation distance.
+[[nodiscard]] MixingEstimate estimate_mixing(const Graph& g, Rng& rng,
+                                             double epsilon = 1e-3);
+
+/// Exact continuous time at which the CTRW from the worst-case start is
+/// within `epsilon` total variation of uniform, found by bisection over
+/// ctrw_distribution. O(V^2 * terms * log range) — small graphs only.
+[[nodiscard]] double empirical_mixing_time(const Graph& g,
+                                           double epsilon = 1e-3);
+
+}  // namespace now::graph

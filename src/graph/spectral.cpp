@@ -1,0 +1,146 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace now::graph {
+
+namespace {
+
+struct IndexedGraph {
+  std::vector<Vertex> verts;
+  std::unordered_map<Vertex, std::size_t> index;
+  std::vector<std::vector<std::size_t>> adj;
+  std::vector<double> degree;
+};
+
+IndexedGraph index_graph(const Graph& g) {
+  IndexedGraph ig;
+  ig.verts = g.vertices();
+  ig.index.reserve(ig.verts.size());
+  for (std::size_t i = 0; i < ig.verts.size(); ++i) ig.index[ig.verts[i]] = i;
+  ig.adj.resize(ig.verts.size());
+  ig.degree.resize(ig.verts.size());
+  for (std::size_t i = 0; i < ig.verts.size(); ++i) {
+    const auto& nbrs = g.neighbors(ig.verts[i]);
+    ig.adj[i].reserve(nbrs.size());
+    for (const Vertex u : nbrs) ig.adj[i].push_back(ig.index.at(u));
+    ig.degree[i] = static_cast<double>(nbrs.size());
+  }
+  return ig;
+}
+
+// y = M x where M = (I + N) / 2 and N = D^{-1/2} A D^{-1/2} is the symmetric
+// normalized adjacency (similar to the walk matrix, same spectrum).
+void apply_lazy(const IndexedGraph& ig, const std::vector<double>& x,
+                std::vector<double>& y) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const std::size_t j : ig.adj[i]) {
+      acc += x[j] / std::sqrt(ig.degree[i] * ig.degree[j]);
+    }
+    y[i] = 0.5 * (x[i] + acc);
+  }
+}
+
+void orthogonalize(std::vector<double>& x, const std::vector<double>& phi) {
+  const double dot = std::inner_product(x.begin(), x.end(), phi.begin(), 0.0);
+  const double norm2 =
+      std::inner_product(phi.begin(), phi.end(), phi.begin(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= dot / norm2 * phi[i];
+}
+
+void normalize(std::vector<double>& x) {
+  const double norm =
+      std::sqrt(std::inner_product(x.begin(), x.end(), x.begin(), 0.0));
+  if (norm > 0.0)
+    for (auto& v : x) v /= norm;
+}
+
+}  // namespace
+
+ExpansionEstimate estimate_expansion(const Graph& g, Rng& rng,
+                                     std::size_t iterations) {
+  assert(g.num_vertices() >= 2);
+  const IndexedGraph ig = index_graph(g);
+  const std::size_t n = ig.verts.size();
+
+  // Isolated vertices make the walk matrix undefined; treat as zero expansion.
+  if (g.min_degree() == 0) {
+    ExpansionEstimate zero;
+    zero.lambda2 = 1.0;
+    return zero;
+  }
+
+  // Top eigenvector of N is phi_i = sqrt(d_i).
+  std::vector<double> phi(n);
+  for (std::size_t i = 0; i < n; ++i) phi[i] = std::sqrt(ig.degree[i]);
+
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform01() - 0.5;
+  orthogonalize(x, phi);
+  normalize(x);
+
+  std::vector<double> y(n);
+  double lazy_lambda2 = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    apply_lazy(ig, x, y);
+    orthogonalize(y, phi);  // re-deflate to fight numerical drift
+    const double norm =
+        std::sqrt(std::inner_product(y.begin(), y.end(), y.begin(), 0.0));
+    if (norm == 0.0) break;  // x was (numerically) in the span of phi
+    lazy_lambda2 = norm;     // Rayleigh growth factor after orthogonalization
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+
+  ExpansionEstimate est;
+  est.lambda2 = std::clamp(2.0 * lazy_lambda2 - 1.0, -1.0, 1.0);
+  est.spectral_gap = 1.0 - est.lambda2;
+  est.conductance_lower = est.spectral_gap / 2.0;
+  est.edge_expansion_lower =
+      est.conductance_lower * static_cast<double>(g.min_degree());
+
+  // Sweep cut over the embedding x_i / sqrt(d_i) (the walk-matrix
+  // eigenvector); gives upper bounds on conductance and edge expansion.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return x[a] / phi[a] < x[b] / phi[b];
+  });
+
+  std::vector<char> in_s(n, 0);
+  const double total_volume =
+      std::accumulate(ig.degree.begin(), ig.degree.end(), 0.0);
+  double vol_s = 0.0;
+  double cut = 0.0;
+  for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+    const std::size_t v = order[pos];
+    in_s[v] = 1;
+    vol_s += ig.degree[v];
+    // Adding v moves its edges: edges to S leave the cut, others enter.
+    for (const std::size_t u : ig.adj[v]) cut += in_s[u] ? -1.0 : 1.0;
+    const std::size_t size_s = pos + 1;
+    const std::size_t size_min = std::min(size_s, n - size_s);
+    const double vol_min = std::min(vol_s, total_volume - vol_s);
+    if (vol_min > 0.0) {
+      est.sweep_conductance = std::min(est.sweep_conductance, cut / vol_min);
+    }
+    if (size_min > 0) {
+      const double expansion = cut / static_cast<double>(size_min);
+      if (pos == 0 || expansion < est.sweep_edge_expansion ||
+          est.sweep_edge_expansion == 0.0) {
+        est.sweep_edge_expansion =
+            (pos == 0) ? expansion : std::min(est.sweep_edge_expansion,
+                                              expansion);
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace now::graph

@@ -1,0 +1,42 @@
+// Spectral expansion estimation for the OVER overlay.
+//
+// Property 1 of the paper asks for an isoperimetric constant
+//   I(G) = min_{S, |S| <= n/2} E(S, S-bar) / |S|  >=  log^{1+alpha}(N) / 2.
+// Computing I(G) exactly is NP-hard, so benches combine:
+//   * a *lower* bound from the spectral gap of the random-walk matrix
+//     (discrete Cheeger inequality:  conductance >= gap / 2, and
+//      I(G) >= conductance * d_min), and
+//   * an *upper* bound from the best sweep cut of the Fiedler-like vector.
+// Tests validate both bounds against the exact value on small graphs
+// (graph/isoperimetric.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace now::graph {
+
+struct ExpansionEstimate {
+  /// Second-largest eigenvalue of the (non-lazy) random-walk matrix.
+  double lambda2 = 0.0;
+  /// 1 - lambda2.
+  double spectral_gap = 0.0;
+  /// Cheeger lower bound on conductance: gap / 2.
+  double conductance_lower = 0.0;
+  /// Best sweep-cut conductance (an upper bound on the true conductance).
+  double sweep_conductance = 1.0;
+  /// Lower bound on the isoperimetric constant: conductance_lower * d_min.
+  double edge_expansion_lower = 0.0;
+  /// Upper bound on the isoperimetric constant from the same sweep cut.
+  double sweep_edge_expansion = 0.0;
+};
+
+/// Estimates the expansion of a connected graph with >= 2 vertices.
+/// Power iteration on the lazy walk matrix (so eigenvalues are nonnegative),
+/// deflated against the stationary direction; `iterations` controls accuracy.
+[[nodiscard]] ExpansionEstimate estimate_expansion(const Graph& g, Rng& rng,
+                                                   std::size_t iterations = 300);
+
+}  // namespace now::graph

@@ -1,0 +1,40 @@
+// Message type of the synchronous network model (Section 2 of the paper):
+// nodes exchange point-to-point messages over private channels, in lockstep
+// rounds. Messages are counted in unit-size pieces — a payload of w words is
+// charged as w unit messages, matching the paper's "communication cost is
+// proportional to the number of bits sent" convention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace now::net {
+
+/// Protocol-level message tags. Kept in one enum so traces are readable;
+/// individual protocols interpret payload words themselves.
+enum class Tag : std::uint16_t {
+  kValue,      // phase-king round 1 value broadcast
+  kPropose,    // phase-king round 2 proposal
+  kKing,       // phase-king round 3 king value
+  kDiscovery,  // identity-set gossip
+  kCommit,     // randNum commitment
+  kReveal,     // randNum reveal
+  kEcho,       // randNum echo of received reveals
+  kApp,        // application payload
+};
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  Tag tag = Tag::kApp;
+  std::vector<std::uint64_t> payload;
+
+  /// Unit-message cost of this message (>= 1 even for empty payloads).
+  [[nodiscard]] std::uint64_t cost_units() const {
+    return payload.empty() ? 1 : static_cast<std::uint64_t>(payload.size());
+  }
+};
+
+}  // namespace now::net

@@ -1,0 +1,64 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace now::net {
+
+void Outbox::send(NodeId to, Tag tag, std::vector<std::uint64_t> payload) {
+  messages_.push_back(Message{self_, to, tag, std::move(payload)});
+}
+
+void Outbox::multicast(std::span<const NodeId> to, Tag tag,
+                       const std::vector<std::uint64_t>& payload) {
+  for (const NodeId dest : to) send(dest, tag, payload);
+}
+
+void SyncNetwork::add_actor(NodeId id, std::unique_ptr<Actor> actor) {
+  assert(actor != nullptr);
+  const bool inserted = actors_.emplace(id, std::move(actor)).second;
+  assert(inserted && "actor id already registered");
+  (void)inserted;
+  inboxes_.try_emplace(id);
+}
+
+bool SyncNetwork::remove_actor(NodeId id) {
+  inboxes_.erase(id);
+  return actors_.erase(id) > 0;
+}
+
+bool SyncNetwork::is_live(NodeId id) const { return actors_.contains(id); }
+
+void SyncNetwork::run_round() {
+  // Collect this round's output from every actor against the *previous*
+  // round's inboxes (no rushing: actors never see same-round messages).
+  std::map<NodeId, std::vector<Message>> next_inboxes;
+  for (auto& [id, inbox] : inboxes_) next_inboxes.try_emplace(id);
+
+  for (auto& [id, actor] : actors_) {
+    Outbox out{id};
+    const auto inbox_it = inboxes_.find(id);
+    const std::span<const Message> inbox =
+        inbox_it == inboxes_.end()
+            ? std::span<const Message>{}
+            : std::span<const Message>(inbox_it->second);
+    actor->on_round(round_, inbox, out);
+    for (auto& msg : out.messages_) {
+      metrics_.add_messages(msg.cost_units());
+      // Sends to departed / unknown nodes vanish (reconfigurable channels).
+      if (const auto it = next_inboxes.find(msg.to); it != next_inboxes.end()) {
+        it->second.push_back(std::move(msg));
+      }
+    }
+  }
+
+  inboxes_ = std::move(next_inboxes);
+  metrics_.add_rounds(1);
+  ++round_;
+}
+
+void SyncNetwork::run_rounds(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) run_round();
+}
+
+}  // namespace now::net

@@ -1,0 +1,82 @@
+// Synchronous round-based network simulator.
+//
+// Models the paper's system assumptions (Section 2): a synchronous network
+// with discrete rounds, private reconfigurable channels, no rushing within a
+// round (messages sent in round r are a function of state before r; this is
+// what makes commit–reveal randNum unbiased, see DESIGN.md §5), and a
+// departure detector (removing an actor makes subsequent sends to it vanish,
+// and neighbors can query liveness).
+//
+// Used at message level for committee-scale protocols (phase-king, randNum,
+// discovery on small networks); larger experiments use the same protocol
+// logic with bulk cost accounting, and tests assert the two agree.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace now::net {
+
+/// Outbound-message collector handed to actors each round.
+class Outbox {
+ public:
+  void send(NodeId to, Tag tag, std::vector<std::uint64_t> payload = {});
+
+  /// Convenience: send the same message to every destination in `to`.
+  void multicast(std::span<const NodeId> to, Tag tag,
+                 const std::vector<std::uint64_t>& payload = {});
+
+ private:
+  friend class SyncNetwork;
+  explicit Outbox(NodeId self) : self_(self) {}
+  NodeId self_;
+  std::vector<Message> messages_;
+};
+
+/// A protocol participant. One virtual call per round: consume the inbox
+/// (messages addressed to this actor, sent in the previous round) and emit
+/// this round's messages.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_round(std::size_t round, std::span<const Message> inbox,
+                        Outbox& out) = 0;
+};
+
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(Metrics& metrics) : metrics_(metrics) {}
+
+  /// Registers an actor under `id`. The id must not already be registered.
+  void add_actor(NodeId id, std::unique_ptr<Actor> actor);
+
+  /// Deregisters (crash / leave). In-flight messages to it are dropped, as
+  /// are future sends. Returns false if the id is unknown.
+  bool remove_actor(NodeId id);
+
+  [[nodiscard]] bool is_live(NodeId id) const;
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t round() const { return round_; }
+
+  /// Executes one synchronous round: every actor sees messages sent to it in
+  /// the previous round and produces messages delivered next round.
+  /// Charges one round and all message units to the metrics sink.
+  void run_round();
+
+  /// Runs `count` rounds.
+  void run_rounds(std::size_t count);
+
+ private:
+  Metrics& metrics_;
+  std::size_t round_ = 0;
+  std::map<NodeId, std::unique_ptr<Actor>> actors_;
+  std::map<NodeId, std::vector<Message>> inboxes_;
+};
+
+}  // namespace now::net

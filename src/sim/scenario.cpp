@@ -1,0 +1,82 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/math_util.hpp"
+#include "sim/table.hpp"
+
+namespace now::sim {
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            adversary::Adversary& adversary,
+                            Metrics& metrics) {
+  core::NowSystem system{config.params, metrics, config.seed};
+  Rng driver_rng{config.seed ^ 0xC0FFEE5EEDULL};
+
+  const std::size_t n0 =
+      config.n0 > 0 ? config.n0
+                    : static_cast<std::size_t>(
+                          isqrt(config.params.max_size));
+  const double byz_fraction = config.initial_byz_fraction >= 0.0
+                                  ? config.initial_byz_fraction
+                                  : adversary.tau();
+  const auto byz0 = static_cast<std::size_t>(
+      std::floor(byz_fraction * static_cast<double>(n0)));
+  system.initialize(n0, byz0, config.topology);
+
+  ScenarioResult result;
+  const auto sample_now = [&](std::size_t step) {
+    const auto report = system.check();
+    InvariantSample s;
+    s.step = step;
+    s.num_nodes = report.num_nodes;
+    s.num_clusters = report.num_clusters;
+    s.min_cluster_size = report.min_cluster_size;
+    s.max_cluster_size = report.max_cluster_size;
+    s.worst_byz_fraction = report.worst_byz_fraction;
+    s.compromised_clusters = report.compromised_clusters;
+    s.overlay_max_degree = report.overlay_max_degree;
+    s.overlay_connected = report.overlay_connected;
+    result.samples.push_back(s);
+    result.peak_byz_fraction =
+        std::max(result.peak_byz_fraction, s.worst_byz_fraction);
+    if (s.compromised_clusters > 0 && !result.ever_compromised) {
+      result.ever_compromised = true;
+      result.first_compromise_step = step;
+    }
+  };
+
+  sample_now(0);
+  for (std::size_t t = 1; t <= config.steps; ++t) {
+    adversary.step(system, t, driver_rng);
+    if (t % config.sample_every == 0 || t == config.steps) sample_now(t);
+  }
+
+  result.total_splits = metrics.operation_count("split");
+  result.total_merges = metrics.operation_count("merge");
+  result.final_nodes = system.num_nodes();
+  result.final_clusters = system.num_clusters();
+  return result;
+}
+
+void write_samples_csv(const ScenarioResult& result, std::ostream& os) {
+  Table table({"step", "nodes", "clusters", "min_cluster", "max_cluster",
+               "worst_byz_fraction", "compromised", "overlay_max_degree",
+               "overlay_connected"});
+  for (const auto& s : result.samples) {
+    table.add_row({Table::fmt(std::uint64_t{s.step}),
+                   Table::fmt(std::uint64_t{s.num_nodes}),
+                   Table::fmt(std::uint64_t{s.num_clusters}),
+                   Table::fmt(std::uint64_t{s.min_cluster_size}),
+                   Table::fmt(std::uint64_t{s.max_cluster_size}),
+                   Table::fmt(s.worst_byz_fraction, 4),
+                   Table::fmt(std::uint64_t{s.compromised_clusters}),
+                   Table::fmt(std::uint64_t{s.overlay_max_degree}),
+                   s.overlay_connected ? "1" : "0"});
+  }
+  table.write_csv(os);
+}
+
+}  // namespace now::sim

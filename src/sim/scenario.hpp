@@ -1,0 +1,64 @@
+// End-to-end scenario runner: initialize a NOW deployment, drive it with an
+// adversary for a number of time steps, and sample the Theorem-3 invariants
+// along the way. All long-horizon benches and the integration tests are
+// built on this.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/metrics.hpp"
+#include "core/now.hpp"
+
+namespace now::sim {
+
+struct ScenarioConfig {
+  core::NowParams params;
+  std::size_t n0 = 0;          // 0 => sqrt(N)
+  double initial_byz_fraction = -1.0;  // < 0 => the adversary's tau
+  core::InitTopology topology = core::InitTopology::kSparseRandom;
+  std::size_t steps = 1000;
+  std::size_t sample_every = 50;
+  std::uint64_t seed = 42;
+};
+
+struct InvariantSample {
+  std::size_t step = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_clusters = 0;
+  std::size_t min_cluster_size = 0;
+  std::size_t max_cluster_size = 0;
+  double worst_byz_fraction = 0.0;
+  std::size_t compromised_clusters = 0;
+  std::size_t overlay_max_degree = 0;
+  bool overlay_connected = true;
+};
+
+struct ScenarioResult {
+  std::vector<InvariantSample> samples;
+  /// Max over the whole run (sampled steps) of max_C p_C.
+  double peak_byz_fraction = 0.0;
+  /// Any cluster ever at or above 1/3 Byzantine at a sampled step.
+  bool ever_compromised = false;
+  /// First sampled step at which a compromise was observed (or SIZE_MAX).
+  std::size_t first_compromise_step = static_cast<std::size_t>(-1);
+  std::size_t total_splits = 0;
+  std::size_t total_merges = 0;
+  std::size_t final_nodes = 0;
+  std::size_t final_clusters = 0;
+};
+
+/// Runs the scenario. The same Metrics records every operation, so callers
+/// can mine per-operation cost distributions afterwards
+/// (metrics.operation_samples("join") etc.).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          adversary::Adversary& adversary,
+                                          Metrics& metrics);
+
+/// Writes the invariant samples as CSV (one row per sample) for external
+/// plotting.
+void write_samples_csv(const ScenarioResult& result, std::ostream& os);
+
+}  // namespace now::sim

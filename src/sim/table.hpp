@@ -1,0 +1,34 @@
+// Console table / CSV output for the experiment harness. Every bench binary
+// prints the rows it reproduces through this, so outputs stay uniform and
+// machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace now::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with sensible precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+
+  /// Fixed-width aligned rendering.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (same content).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace now::sim

@@ -1,0 +1,144 @@
+#include "adversary/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace now::adversary {
+namespace {
+
+core::NowParams small_params() {
+  core::NowParams p;
+  p.max_size = 1 << 12;
+  p.walk_mode = core::WalkMode::kSampleExact;  // fast statistical runs
+  return p;
+}
+
+TEST(ScheduleTest, HoldIsConstant) {
+  const auto s = ChurnSchedule::hold(100);
+  EXPECT_EQ(s.target(0), 100u);
+  EXPECT_EQ(s.target(999), 100u);
+}
+
+TEST(ScheduleTest, RampGrowsThenHolds) {
+  const auto s = ChurnSchedule::ramp(10, 15);
+  EXPECT_EQ(s.target(0), 10u);
+  EXPECT_EQ(s.target(3), 13u);
+  EXPECT_EQ(s.target(5), 15u);
+  EXPECT_EQ(s.target(50), 15u);
+}
+
+TEST(ScheduleTest, RampShrinks) {
+  const auto s = ChurnSchedule::ramp(20, 12);
+  EXPECT_EQ(s.target(0), 20u);
+  EXPECT_EQ(s.target(8), 12u);
+  EXPECT_EQ(s.target(100), 12u);
+}
+
+TEST(ScheduleTest, OscillateTriangleWave) {
+  const auto s = ChurnSchedule::oscillate(10, 14);
+  EXPECT_EQ(s.target(0), 10u);
+  EXPECT_EQ(s.target(2), 12u);
+  EXPECT_EQ(s.target(4), 14u);
+  EXPECT_EQ(s.target(6), 12u);
+  EXPECT_EQ(s.target(8), 10u);
+  EXPECT_EQ(s.target(12), 14u);  // periodic
+}
+
+TEST(RandomChurnTest, FollowsScheduleAndBudget) {
+  Metrics metrics;
+  core::NowSystem system{small_params(), metrics, 1};
+  system.initialize(300, 45);
+  RandomChurnAdversary adv{0.15, ChurnSchedule::ramp(300, 380)};
+  Rng rng{2};
+  for (std::size_t t = 1; t <= 120; ++t) adv.step(system, t, rng);
+  EXPECT_NEAR(static_cast<double>(system.num_nodes()), 380.0, 3.0);
+  const double frac = static_cast<double>(system.state().byzantine_total()) /
+                      static_cast<double>(system.num_nodes());
+  EXPECT_LE(frac, 0.16);  // never exceeds tau (+1 node rounding)
+  EXPECT_GT(frac, 0.10);  // greedy corruption keeps it near tau
+}
+
+TEST(RandomChurnTest, ProtectByzantineKeepsThemAlive) {
+  Metrics metrics;
+  core::NowSystem system{small_params(), metrics, 3};
+  system.initialize(300, 45);
+  RandomChurnAdversary adv{0.15, ChurnSchedule::hold(300),
+                           /*protect_byzantine=*/true};
+  Rng rng{4};
+  for (std::size_t t = 1; t <= 100; ++t) adv.step(system, t, rng);
+  // Byzantine population never decreases below its starting point.
+  EXPECT_GE(system.state().byzantine_total(), 45u);
+}
+
+TEST(JoinLeaveTest, AttackPreservesPopulationRoughly) {
+  Metrics metrics;
+  core::NowSystem system{small_params(), metrics, 5};
+  system.initialize(300, 45);
+  JoinLeaveAdversary adv{0.15, ChurnSchedule::hold(300)};
+  Rng rng{6};
+  for (std::size_t t = 1; t <= 100; ++t) adv.step(system, t, rng);
+  EXPECT_NEAR(static_cast<double>(system.num_nodes()), 300.0, 10.0);
+  EXPECT_TRUE(adv.target().valid());
+}
+
+TEST(JoinLeaveTest, TargetIsALiveCluster) {
+  Metrics metrics;
+  core::NowSystem system{small_params(), metrics, 7};
+  system.initialize(300, 45);
+  JoinLeaveAdversary adv{0.15, ChurnSchedule::hold(300)};
+  Rng rng{8};
+  for (std::size_t t = 1; t <= 60; ++t) {
+    adv.step(system, t, rng);
+    ASSERT_TRUE(system.state().clusters.contains(adv.target()));
+  }
+}
+
+TEST(ForcedLeaveTest, DrainsHonestFromTargetButShuffleRefills) {
+  Metrics metrics;
+  core::NowSystem system{small_params(), metrics, 9};
+  system.initialize(300, 45);
+  ForcedLeaveAdversary adv{0.15};
+  Rng rng{10};
+  for (std::size_t t = 1; t <= 100; ++t) adv.step(system, t, rng);
+  // With shuffling on, the target cluster must still be majority-honest.
+  const auto& state = system.state();
+  const auto& target = state.cluster_at(adv.target());
+  EXPECT_LT(cluster::byzantine_fraction(target, state.byzantine), 0.5);
+}
+
+TEST(AdversaryTest, BudgetHonoredAcrossStrategies) {
+  for (int kind = 0; kind < 3; ++kind) {
+    Metrics metrics;
+    core::NowSystem system{small_params(), metrics,
+                           static_cast<std::uint64_t>(20 + kind)};
+    system.initialize(300, 30);  // 10% initial
+    std::unique_ptr<Adversary> adv;
+    const double tau = 0.10;
+    switch (kind) {
+      case 0:
+        adv = std::make_unique<RandomChurnAdversary>(
+            tau, ChurnSchedule::hold(300));
+        break;
+      case 1:
+        adv = std::make_unique<JoinLeaveAdversary>(
+            tau, ChurnSchedule::hold(300));
+        break;
+      default:
+        adv = std::make_unique<ForcedLeaveAdversary>(tau);
+        break;
+    }
+    Rng rng{static_cast<std::uint64_t>(kind) + 100};
+    for (std::size_t t = 1; t <= 80; ++t) {
+      adv->step(system, t, rng);
+      const double frac =
+          static_cast<double>(system.state().byzantine_total()) /
+          static_cast<double>(system.num_nodes());
+      ASSERT_LE(frac, tau + 2.0 / static_cast<double>(system.num_nodes()))
+          << "strategy " << kind << " step " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace now::adversary

@@ -1,0 +1,137 @@
+#include "agreement/phase_king.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace now::agreement {
+namespace {
+
+std::vector<NodeId> make_members(std::size_t n) {
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < n; ++i) members.emplace_back(i);
+  return members;
+}
+
+TEST(PhaseKingTest, AllHonestUnanimousInput) {
+  Metrics metrics;
+  Rng rng{1};
+  const auto members = make_members(7);
+  std::map<NodeId, std::uint64_t> inputs;
+  for (const NodeId m : members) inputs[m] = 4;
+  const auto result = run_phase_king(members, {}, inputs,
+                                     ByzBehavior::kSilent, metrics, rng);
+  ASSERT_EQ(result.decisions.size(), 7u);
+  for (const auto& [id, v] : result.decisions) EXPECT_EQ(v, 4u);
+}
+
+TEST(PhaseKingTest, AllHonestMixedInputsStillAgree) {
+  Metrics metrics;
+  Rng rng{2};
+  const auto members = make_members(10);
+  std::map<NodeId, std::uint64_t> inputs;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    inputs[members[i]] = i % 3;
+  const auto result = run_phase_king(members, {}, inputs,
+                                     ByzBehavior::kSilent, metrics, rng);
+  const std::uint64_t v = result.decisions.begin()->second;
+  for (const auto& [id, decided] : result.decisions) EXPECT_EQ(decided, v);
+}
+
+TEST(PhaseKingTest, SingleNodeDecidesOwnValue) {
+  Metrics metrics;
+  Rng rng{3};
+  const auto members = make_members(1);
+  const auto result = run_phase_king(
+      members, {}, {{NodeId{0}, 9}}, ByzBehavior::kSilent, metrics, rng);
+  EXPECT_EQ(result.decisions.at(NodeId{0}), 9u);
+}
+
+TEST(PhaseKingTest, CostWithinBound) {
+  Metrics metrics;
+  Rng rng{4};
+  const auto members = make_members(13);
+  std::map<NodeId, std::uint64_t> inputs;
+  for (const NodeId m : members) inputs[m] = 1;
+  const auto result = run_phase_king(members, {}, inputs,
+                                     ByzBehavior::kSilent, metrics, rng);
+  const Cost bound = phase_king_cost_bound(13);
+  EXPECT_LE(result.messages, bound.messages);
+  EXPECT_EQ(result.rounds, bound.rounds);
+}
+
+struct AdversarialCase {
+  std::size_t n;
+  ByzBehavior behavior;
+};
+
+class PhaseKingAdversarialTest
+    : public ::testing::TestWithParam<AdversarialCase> {};
+
+TEST_P(PhaseKingAdversarialTest, AgreementAndValidityUnderMaxFaults) {
+  const auto [n, behavior] = GetParam();
+  const std::size_t f = (n - 1) / 3;
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Metrics metrics;
+    Rng rng{seed * 1000 + n};
+    const auto members = make_members(n);
+    // Corrupt the *last* f members (kings are taken in id order, so the
+    // first phases have honest kings; also try corrupting the first f, so
+    // the early kings are Byzantine).
+    std::set<NodeId> byz_front(members.begin(),
+                               members.begin() + static_cast<long>(f));
+    std::set<NodeId> byz_back(members.end() - static_cast<long>(f),
+                              members.end());
+    for (const auto& byzantine : {byz_front, byz_back}) {
+      // Validity: all honest share input 1 -> decision must be 1 whatever
+      // the adversary does.
+      std::map<NodeId, std::uint64_t> inputs;
+      for (const NodeId m : members) inputs[m] = 1;
+      const auto result =
+          run_phase_king(members, byzantine, inputs, behavior, metrics, rng);
+      ASSERT_EQ(result.decisions.size(), n - f);
+      for (const auto& [id, v] : result.decisions) {
+        EXPECT_EQ(v, 1u) << "n=" << n << " seed=" << seed;
+      }
+
+      // Agreement: divergent honest inputs -> all honest decide the same.
+      std::map<NodeId, std::uint64_t> mixed;
+      std::uint64_t salt = seed;
+      for (const NodeId m : members) mixed[m] = splitmix64(salt) % 2;
+      const auto r2 =
+          run_phase_king(members, byzantine, mixed, behavior, metrics, rng);
+      const std::uint64_t first = r2.decisions.begin()->second;
+      for (const auto& [id, v] : r2.decisions) {
+        EXPECT_EQ(v, first) << "n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PhaseKingAdversarialTest,
+    ::testing::Values(
+        AdversarialCase{4, ByzBehavior::kSilent},
+        AdversarialCase{4, ByzBehavior::kEquivocate},
+        AdversarialCase{7, ByzBehavior::kSilent},
+        AdversarialCase{7, ByzBehavior::kRandomLies},
+        AdversarialCase{7, ByzBehavior::kEquivocate},
+        AdversarialCase{7, ByzBehavior::kCollude},
+        AdversarialCase{10, ByzBehavior::kEquivocate},
+        AdversarialCase{10, ByzBehavior::kCollude},
+        AdversarialCase{13, ByzBehavior::kRandomLies},
+        AdversarialCase{13, ByzBehavior::kEquivocate}));
+
+TEST(PhaseKingTest, CostBoundGrowsCubically) {
+  // 3(f+1)+1 rounds of n(n-1) messages with f ~ n/3 -> Theta(n^3).
+  const Cost c100 = phase_king_cost_bound(100);
+  const Cost c200 = phase_king_cost_bound(200);
+  const double ratio = static_cast<double>(c200.messages) /
+                       static_cast<double>(c100.messages);
+  EXPECT_NEAR(ratio, 8.0, 0.8);
+}
+
+}  // namespace
+}  // namespace now::agreement

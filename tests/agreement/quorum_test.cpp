@@ -1,0 +1,93 @@
+#include "agreement/quorum.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace now::agreement {
+namespace {
+
+std::vector<NodeId> make_nodes(std::size_t n) {
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.emplace_back(i * 10);
+  return nodes;
+}
+
+TEST(QuorumTest, CommitteeHasRequestedSizeAndIsSorted) {
+  Metrics metrics;
+  Rng rng{1};
+  const auto nodes = make_nodes(50);
+  const auto result = build_representative_quorum(nodes, 12, metrics, rng);
+  EXPECT_EQ(result.committee.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(result.committee.begin(),
+                             result.committee.end()));
+  const std::set<NodeId> unique(result.committee.begin(),
+                                result.committee.end());
+  EXPECT_EQ(unique.size(), 12u);
+  for (const NodeId id : result.committee) {
+    EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), id));
+  }
+}
+
+TEST(QuorumTest, ChargesPublishedCost) {
+  Metrics metrics;
+  Rng rng{2};
+  const auto nodes = make_nodes(100);
+  const auto result = build_representative_quorum(nodes, 10, metrics, rng);
+  EXPECT_EQ(metrics.total().messages, result.charged.messages);
+  EXPECT_EQ(metrics.total().rounds, result.charged.rounds);
+  EXPECT_EQ(result.charged, quorum_cost_model(100));
+}
+
+TEST(QuorumTest, CostModelScalesAsN32) {
+  const auto c1 = quorum_cost_model(1000);
+  const auto c2 = quorum_cost_model(4000);
+  // n^{3/2} * log n: quadrupling n multiplies by 8 * (log ratio ~ 1.2).
+  const double ratio = static_cast<double>(c2.messages) /
+                       static_cast<double>(c1.messages);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(QuorumTest, CommitteeIsUniform) {
+  // Inclusion probability of a fixed node should be ~ size / n.
+  Metrics metrics;
+  Rng rng{3};
+  const auto nodes = make_nodes(20);
+  constexpr int kTrials = 20000;
+  int hits = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = build_representative_quorum(nodes, 5, metrics, rng);
+    hits += std::binary_search(result.committee.begin(),
+                               result.committee.end(), nodes[7])
+                ? 1
+                : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(QuorumTest, HonestMajorityWithHighProbability) {
+  // With tau = 0.15 and a committee of ~ 5 ln N members, > 2/3 honest holds
+  // in the overwhelming majority of draws (Chernoff / Lemma-1 style; larger
+  // committees — larger k in the paper — sharpen the bound).
+  Metrics metrics;
+  Rng rng{4};
+  const std::size_t n = 1000;
+  const auto nodes = make_nodes(n);
+  std::set<NodeId> byz;
+  for (std::size_t i = 0; i < 150; ++i) byz.insert(nodes[i * 6]);
+
+  constexpr int kTrials = 2000;
+  int bad = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = build_representative_quorum(nodes, 33, metrics, rng);
+    std::size_t b = 0;
+    for (const NodeId id : result.committee) b += byz.contains(id) ? 1 : 0;
+    if (3 * b >= result.committee.size()) ++bad;
+  }
+  EXPECT_LT(static_cast<double>(bad) / kTrials, 0.05);
+}
+
+}  // namespace
+}  // namespace now::agreement

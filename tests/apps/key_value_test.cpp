@@ -1,0 +1,122 @@
+#include "apps/key_value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace now::apps {
+namespace {
+
+core::NowParams kv_params() {
+  core::NowParams p;
+  p.max_size = 1 << 12;
+  p.k = 5;
+  p.tau = 0.10;
+  p.walk_mode = core::WalkMode::kSampleExact;
+  return p;
+}
+
+TEST(KeyValueTest, PutGetRoundTrip) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 1};
+  system.initialize(500, 50, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+
+  const auto put = kv.put(0xABCDEF, 42);
+  ASSERT_TRUE(put.stored);
+  EXPECT_TRUE(put.certified);
+  EXPECT_TRUE(put.home.valid());
+
+  const auto got = kv.get(0xABCDEF);
+  EXPECT_TRUE(got.found);
+  EXPECT_TRUE(got.authentic);
+  EXPECT_EQ(got.value, 42u);
+  EXPECT_EQ(got.home, put.home);
+}
+
+TEST(KeyValueTest, MissingKeyNotFound) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 2};
+  system.initialize(500, 50, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  const auto got = kv.get(0xDEAD);
+  EXPECT_FALSE(got.found);
+  EXPECT_TRUE(got.home.valid());
+}
+
+TEST(KeyValueTest, OverwriteUpdatesValue) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 3};
+  system.initialize(500, 0, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  kv.put(7, 1);
+  kv.put(7, 2);
+  EXPECT_EQ(kv.get(7).value, 2u);
+  EXPECT_EQ(kv.stored_entries(), 1u);
+}
+
+TEST(KeyValueTest, KeysSpreadAcrossClusters) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 4};
+  system.initialize(800, 0, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  std::set<ClusterId> homes;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    homes.insert(kv.put(key * 0x1234567, key).home);
+  }
+  // Rendezvous hashing should use most of the clusters.
+  EXPECT_GT(homes.size(), system.num_clusters() / 2);
+}
+
+TEST(KeyValueTest, RepairRehomesAfterChurn) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 5};
+  system.initialize(600, 60, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  constexpr std::size_t kKeys = 40;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(kv.put(key * 0xBEEF123, key).stored);
+  }
+
+  // Drive enough churn to split/merge clusters, then repair.
+  Rng rng{6};
+  for (int i = 0; i < 200; ++i) {
+    if (rng.bernoulli(0.7)) {
+      system.join(rng.bernoulli(0.10));
+    } else {
+      system.leave(system.state().random_node(rng));
+    }
+  }
+  kv.repair();
+  EXPECT_EQ(kv.stored_entries(), kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto got = kv.get(key * 0xBEEF123);
+    EXPECT_TRUE(got.found) << "key " << key << " lost after churn+repair";
+    EXPECT_EQ(got.value, key);
+  }
+}
+
+TEST(KeyValueTest, CostsAreChargedPerOperation) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 7};
+  system.initialize(500, 0, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  kv.put(1, 1);
+  kv.get(1);
+  EXPECT_EQ(metrics.operation_count("kv.put"), 1u);
+  EXPECT_EQ(metrics.operation_count("kv.get"), 1u);
+  EXPECT_GT(metrics.operation_total("kv.put").messages, 0u);
+  // Routing costs are polylog-sized: far below n^2.
+  EXPECT_LT(metrics.operation_total("kv.get").messages,
+            static_cast<std::uint64_t>(500) * 500);
+}
+
+TEST(KeyValueTest, RepairOnStableTopologyMovesNothing) {
+  Metrics metrics;
+  core::NowSystem system{kv_params(), metrics, 8};
+  system.initialize(500, 0, core::InitTopology::kModeledSparse);
+  KeyValueService kv{system};
+  for (std::uint64_t key = 0; key < 10; ++key) kv.put(key, key);
+  EXPECT_EQ(kv.repair(), 0u);
+}
+
+}  // namespace
+}  // namespace now::apps

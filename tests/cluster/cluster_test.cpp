@@ -1,0 +1,54 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace now::cluster {
+namespace {
+
+TEST(ClusterTest, MembershipBasics) {
+  Cluster c{ClusterId{1}};
+  EXPECT_EQ(c.id(), ClusterId{1});
+  EXPECT_EQ(c.size(), 0u);
+  c.add_member(NodeId{5});
+  c.add_member(NodeId{3});
+  c.add_member(NodeId{9});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.contains(NodeId{3}));
+  EXPECT_FALSE(c.contains(NodeId{4}));
+  c.remove_member(NodeId{3});
+  EXPECT_FALSE(c.contains(NodeId{3}));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ClusterTest, MembersStaySorted) {
+  Cluster c{ClusterId{2}};
+  for (const auto v : {9, 1, 5, 3, 7}) c.add_member(NodeId{
+      static_cast<std::uint64_t>(v)});
+  const auto& members = c.members();
+  EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  EXPECT_EQ(c.member_at(0), NodeId{1});
+  EXPECT_EQ(c.member_at(4), NodeId{9});
+}
+
+TEST(ClusterTest, RandomMemberIsAMember) {
+  Cluster c{ClusterId{3}};
+  for (std::uint64_t v = 0; v < 10; ++v) c.add_member(NodeId{v});
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(c.contains(c.random_member(rng)));
+}
+
+TEST(ClusterTest, ByzantineCounting) {
+  Cluster c{ClusterId{4}};
+  for (std::uint64_t v = 0; v < 9; ++v) c.add_member(NodeId{v});
+  std::set<NodeId> byz{NodeId{0}, NodeId{4}, NodeId{8}, NodeId{100}};
+  EXPECT_EQ(byzantine_count(c, byz), 3u);  // 100 is not a member
+  EXPECT_DOUBLE_EQ(byzantine_fraction(c, byz), 1.0 / 3.0);
+}
+
+TEST(ClusterTest, ByzantineFractionOfEmptyClusterIsZero) {
+  Cluster c{ClusterId{5}};
+  EXPECT_DOUBLE_EQ(byzantine_fraction(c, {NodeId{1}}), 0.0);
+}
+
+}  // namespace
+}  // namespace now::cluster

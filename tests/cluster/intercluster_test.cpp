@@ -1,0 +1,67 @@
+#include "cluster/intercluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace now::cluster {
+namespace {
+
+Cluster make_cluster(ClusterId id, std::uint64_t first, std::size_t n) {
+  Cluster c{id};
+  for (std::uint64_t i = 0; i < n; ++i) c.add_member(NodeId{first + i});
+  return c;
+}
+
+TEST(InterclusterTest, CostIsProductOfSizesTimesUnits) {
+  const auto cost = cluster_send_cost(5, 7, 3);
+  EXPECT_EQ(cost.messages, 5u * 7 * 3);
+  EXPECT_EQ(cost.rounds, 1u);
+}
+
+TEST(InterclusterTest, HonestMajorityIsAccepted) {
+  Metrics metrics;
+  const auto from = make_cluster(ClusterId{1}, 0, 9);
+  const auto to = make_cluster(ClusterId{2}, 100, 9);
+  const std::set<NodeId> byz{NodeId{0}, NodeId{1}, NodeId{2}};  // 3 of 9
+  const auto outcome = cluster_send(from, to, 2, byz, metrics);
+  EXPECT_TRUE(outcome.accepted);
+  EXPECT_FALSE(outcome.forgeable);
+  EXPECT_EQ(metrics.total().messages, 9u * 9 * 2);
+  EXPECT_EQ(metrics.total().rounds, 0u);  // rounds returned in outcome.cost
+  EXPECT_EQ(outcome.cost.rounds, 1u);
+}
+
+TEST(InterclusterTest, MinorityHonestIsRejected) {
+  Metrics metrics;
+  const auto from = make_cluster(ClusterId{1}, 0, 8);
+  const auto to = make_cluster(ClusterId{2}, 100, 8);
+  std::set<NodeId> byz;
+  for (std::uint64_t i = 0; i < 4; ++i) byz.insert(NodeId{i});  // half
+  const auto outcome = cluster_send(from, to, 1, byz, metrics);
+  // "at least half plus one" -> 4 honest of 8 is NOT enough.
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_FALSE(outcome.forgeable);  // 4 byz of 8 can't forge either
+}
+
+TEST(InterclusterTest, ByzantineMajorityCanForge) {
+  Metrics metrics;
+  const auto from = make_cluster(ClusterId{1}, 0, 7);
+  const auto to = make_cluster(ClusterId{2}, 100, 7);
+  std::set<NodeId> byz;
+  for (std::uint64_t i = 0; i < 5; ++i) byz.insert(NodeId{i});
+  const auto outcome = cluster_send(from, to, 1, byz, metrics);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_TRUE(outcome.forgeable);
+}
+
+TEST(InterclusterTest, ExactTwoThirdsHonestStillAccepted) {
+  // The NOW invariant (> 2/3 honest) comfortably implies the > 1/2 rule.
+  Metrics metrics;
+  const auto from = make_cluster(ClusterId{1}, 0, 9);
+  const auto to = make_cluster(ClusterId{2}, 100, 5);
+  const std::set<NodeId> byz{NodeId{0}, NodeId{1}};  // 2 of 9 byz
+  const auto outcome = cluster_send(from, to, 1, byz, metrics);
+  EXPECT_TRUE(outcome.accepted);
+}
+
+}  // namespace
+}  // namespace now::cluster

@@ -1,0 +1,173 @@
+#include "cluster/rand_num.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace now::cluster {
+namespace {
+
+std::vector<NodeId> make_members(std::size_t n) {
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < n; ++i) members.emplace_back(i);
+  return members;
+}
+
+TEST(RandNumTest, AllHonestAgreeFastMode) {
+  Metrics metrics;
+  Rng rng{1};
+  const auto members = make_members(9);
+  for (int i = 0; i < 20; ++i) {
+    const auto result = run_rand_num(members, {}, 100, RandNumMode::kFast,
+                                     RandNumByz::kFollow, metrics, rng);
+    EXPECT_TRUE(result.agreement);
+    EXPECT_LT(result.value, 100u);
+  }
+}
+
+TEST(RandNumTest, FastModeCostMatchesModel) {
+  Metrics metrics;
+  Rng rng{2};
+  const auto members = make_members(12);
+  const auto result = run_rand_num(members, {}, 64, RandNumMode::kFast,
+                                   RandNumByz::kFollow, metrics, rng);
+  const Cost model = rand_num_cost_model(12, RandNumMode::kFast);
+  EXPECT_EQ(result.messages, model.messages);
+  EXPECT_EQ(result.rounds, model.rounds);
+}
+
+TEST(RandNumTest, RobustModeCostMatchesModelWhenAllFollow) {
+  Metrics metrics;
+  Rng rng{3};
+  const auto members = make_members(8);
+  const auto result = run_rand_num(members, {}, 64, RandNumMode::kRobust,
+                                   RandNumByz::kFollow, metrics, rng);
+  const Cost model = rand_num_cost_model(8, RandNumMode::kRobust);
+  EXPECT_EQ(result.messages, model.messages);
+  EXPECT_EQ(result.rounds, model.rounds);
+  EXPECT_TRUE(result.agreement);
+}
+
+TEST(RandNumTest, OutputIsUniformAllHonest) {
+  Metrics metrics;
+  Rng rng{4};
+  const auto members = make_members(7);
+  constexpr std::uint64_t kRange = 8;
+  constexpr int kTrials = 16000;
+  std::vector<std::uint64_t> counts(kRange, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto result = run_rand_num(members, {}, kRange, RandNumMode::kFast,
+                                     RandNumByz::kFollow, metrics, rng);
+    counts[result.value]++;
+  }
+  std::vector<double> probs(kRange, 1.0 / kRange);
+  const double stat = chi_square_statistic(counts, probs);
+  EXPECT_GT(chi_square_p_value(stat, kRange - 1), 1e-4);
+}
+
+TEST(RandNumTest, BiasedContributionsCannotSkewOutput) {
+  // Byzantine members always contribute 0; the sum of honest uniform
+  // contributions keeps the result uniform (no-rushing synchrony).
+  Metrics metrics;
+  Rng rng{5};
+  const auto members = make_members(9);
+  const std::set<NodeId> byz{NodeId{0}, NodeId{1}};
+  constexpr std::uint64_t kRange = 8;
+  constexpr int kTrials = 16000;
+  std::vector<std::uint64_t> counts(kRange, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto result = run_rand_num(members, byz, kRange, RandNumMode::kFast,
+                                     RandNumByz::kBiased, metrics, rng);
+    EXPECT_TRUE(result.agreement);
+    counts[result.value]++;
+  }
+  std::vector<double> probs(kRange, 1.0 / kRange);
+  const double stat = chi_square_statistic(counts, probs);
+  EXPECT_GT(chi_square_p_value(stat, kRange - 1), 1e-4);
+}
+
+TEST(RandNumTest, SilentByzantineStillAgreesAndUniform) {
+  Metrics metrics;
+  Rng rng{6};
+  const auto members = make_members(10);
+  const std::set<NodeId> byz{NodeId{2}, NodeId{5}, NodeId{7}};
+  constexpr std::uint64_t kRange = 4;
+  std::vector<std::uint64_t> counts(kRange, 0);
+  for (int i = 0; i < 12000; ++i) {
+    const auto result = run_rand_num(members, byz, kRange, RandNumMode::kFast,
+                                     RandNumByz::kSilent, metrics, rng);
+    EXPECT_TRUE(result.agreement);  // silence is symmetric: views agree
+    counts[result.value]++;
+  }
+  std::vector<double> probs(kRange, 1.0 / kRange);
+  const double stat = chi_square_statistic(counts, probs);
+  EXPECT_GT(chi_square_p_value(stat, kRange - 1), 1e-4);
+}
+
+TEST(RandNumTest, SelectiveRevealDivergesFastModeSometimes) {
+  // The ablation the robust echo round exists for: an equivocating revealer
+  // makes kFast honest views diverge in some runs.
+  Metrics metrics;
+  Rng rng{7};
+  const auto members = make_members(9);
+  const std::set<NodeId> byz{NodeId{0}, NodeId{4}};
+  int divergences = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto result =
+        run_rand_num(members, byz, 1000, RandNumMode::kFast,
+                     RandNumByz::kSelectiveReveal, metrics, rng);
+    divergences += result.agreement ? 0 : 1;
+  }
+  EXPECT_GT(divergences, 0);
+}
+
+TEST(RandNumTest, SelectiveRevealNeverDivergesRobustMode) {
+  Metrics metrics;
+  Rng rng{8};
+  const auto members = make_members(9);
+  const std::set<NodeId> byz{NodeId{0}, NodeId{4}};
+  for (int i = 0; i < 300; ++i) {
+    const auto result =
+        run_rand_num(members, byz, 1000, RandNumMode::kRobust,
+                     RandNumByz::kSelectiveReveal, metrics, rng);
+    EXPECT_TRUE(result.agreement);
+  }
+}
+
+TEST(RandNumTest, SingleMemberShortCircuit) {
+  Metrics metrics;
+  Rng rng{9};
+  const auto members = make_members(1);
+  const auto result = run_rand_num(members, {}, 10, RandNumMode::kRobust,
+                                   RandNumByz::kFollow, metrics, rng);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_LT(result.value, 10u);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(RandNumTest, BulkDrawChargesModelMessages) {
+  Metrics metrics;
+  Rng rng{10};
+  const auto draw =
+      rand_num_value(15, 1000, RandNumMode::kFast, metrics, rng);
+  EXPECT_LT(draw.value, 1000u);
+  EXPECT_EQ(metrics.total().messages,
+            rand_num_cost_model(15, RandNumMode::kFast).messages);
+  EXPECT_EQ(metrics.total().rounds, 0u);  // rounds returned, not charged
+  EXPECT_EQ(draw.cost.rounds, rand_num_cost_model(15, RandNumMode::kFast).rounds);
+}
+
+TEST(RandNumTest, CostModelMonotoneInSizeAndMode) {
+  for (std::size_t s = 2; s < 40; ++s) {
+    const auto fast = rand_num_cost_model(s, RandNumMode::kFast);
+    const auto robust = rand_num_cost_model(s, RandNumMode::kRobust);
+    EXPECT_LT(fast.messages, robust.messages);
+    EXPECT_LT(rand_num_cost_model(s - 1, RandNumMode::kFast).messages,
+              fast.messages);
+  }
+}
+
+}  // namespace
+}  // namespace now::cluster

@@ -1,0 +1,96 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(MetricsTest, TotalsAccumulate) {
+  Metrics m;
+  m.add_messages(10);
+  m.add_rounds(2);
+  m.add_messages(5);
+  EXPECT_EQ(m.total().messages, 15u);
+  EXPECT_EQ(m.total().rounds, 2u);
+}
+
+TEST(MetricsTest, ScopeAttributesCosts) {
+  Metrics m;
+  {
+    OpScope scope(m, "join");
+    m.add_messages(7);
+    m.add_rounds(3);
+    EXPECT_EQ(scope.cost().messages, 7u);
+    EXPECT_EQ(scope.cost().rounds, 3u);
+  }
+  EXPECT_EQ(m.operation_count("join"), 1u);
+  EXPECT_EQ(m.operation_total("join").messages, 7u);
+  EXPECT_EQ(m.operation_total("join").rounds, 3u);
+}
+
+TEST(MetricsTest, NestedScopesChargeAncestors) {
+  Metrics m;
+  {
+    OpScope outer(m, "leave");
+    m.add_messages(1);
+    {
+      OpScope inner(m, "exchange");
+      m.add_messages(10);
+    }
+    EXPECT_EQ(outer.cost().messages, 11u);
+  }
+  EXPECT_EQ(m.operation_total("leave").messages, 11u);
+  EXPECT_EQ(m.operation_total("exchange").messages, 10u);
+  EXPECT_EQ(m.total().messages, 11u);  // global total counted once
+}
+
+TEST(MetricsTest, SamplesKeepPerOperationCosts) {
+  Metrics m;
+  for (int i = 1; i <= 3; ++i) {
+    OpScope scope(m, "op");
+    m.add_messages(static_cast<std::uint64_t>(i));
+  }
+  const auto samples = m.operation_samples("op");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].messages, 1u);
+  EXPECT_EQ(samples[1].messages, 2u);
+  EXPECT_EQ(samples[2].messages, 3u);
+}
+
+TEST(MetricsTest, UnknownLabelIsEmpty) {
+  Metrics m;
+  EXPECT_EQ(m.operation_count("nope"), 0u);
+  EXPECT_EQ(m.operation_total("nope"), Cost{});
+  EXPECT_TRUE(m.operation_samples("nope").empty());
+}
+
+TEST(MetricsTest, LabelsAreSorted) {
+  Metrics m;
+  { OpScope s(m, "b"); }
+  { OpScope s(m, "a"); }
+  const auto labels = m.labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "a");
+  EXPECT_EQ(labels[1], "b");
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  Metrics m;
+  { OpScope s(m, "x"); m.add_messages(4); }
+  m.reset();
+  EXPECT_EQ(m.total().messages, 0u);
+  EXPECT_EQ(m.operation_count("x"), 0u);
+}
+
+TEST(CostTest, Arithmetic) {
+  const Cost a{3, 1};
+  const Cost b{4, 2};
+  const Cost c = a + b;
+  EXPECT_EQ(c.messages, 7u);
+  EXPECT_EQ(c.rounds, 3u);
+  EXPECT_EQ(a, (Cost{3, 1}));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,266 @@
+#include "core/now.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace now::core {
+namespace {
+
+NowParams small_params() {
+  NowParams p;
+  p.max_size = 1 << 12;
+  p.tau = 0.15;
+  p.walk_mode = WalkMode::kSimulate;
+  return p;
+}
+
+TEST(NowInitTest, InitializationEstablishesInvariants) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 1};
+  const auto report = system.initialize(400, 60);
+  EXPECT_TRUE(report.discovery_complete);
+  EXPECT_EQ(system.num_nodes(), 400u);
+  EXPECT_EQ(report.num_clusters, system.num_clusters());
+  const auto inv = system.check();
+  EXPECT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
+  EXPECT_EQ(inv.num_nodes, 400u);
+  EXPECT_EQ(system.state().byzantine_total(), 60u);
+}
+
+TEST(NowInitTest, InitCostsAreCharged) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 2};
+  const auto report = system.initialize(300, 40);
+  EXPECT_GT(report.discovery.messages, 0u);
+  EXPECT_GT(report.quorum.messages, 0u);
+  EXPECT_GT(report.partition.messages, 0u);
+  EXPECT_EQ(report.total.messages, metrics.total().messages);
+  EXPECT_GE(report.total.messages, report.discovery.messages +
+                                       report.quorum.messages +
+                                       report.partition.messages);
+}
+
+TEST(NowInitTest, CompleteTopologyCostsMoreThanSparse) {
+  Metrics sparse;
+  Metrics dense;
+  NowSystem s1{small_params(), sparse, 3};
+  NowSystem s2{small_params(), dense, 3};
+  const auto r1 = s1.initialize(200, 30, InitTopology::kSparseRandom);
+  const auto r2 = s2.initialize(200, 30, InitTopology::kComplete);
+  EXPECT_GT(r2.discovery.messages, r1.discovery.messages);
+}
+
+TEST(NowJoinTest, JoinAddsExactlyOneNode) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 4};
+  system.initialize(400, 60);
+  const std::size_t before = system.num_nodes();
+  const auto [node, report] = system.join(false);
+  EXPECT_EQ(system.num_nodes(), before + 1);
+  EXPECT_TRUE(system.state().node_home.contains(node));
+  EXPECT_GT(report.cost.messages, 0u);
+  EXPECT_GT(report.cost.rounds, 0u);
+  const auto inv = system.check();
+  EXPECT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
+}
+
+TEST(NowJoinTest, ByzantineJoinIsTracked) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 5};
+  system.initialize(400, 60);
+  const std::size_t byz_before = system.state().byzantine_total();
+  const auto [node, report] = system.join(true);
+  EXPECT_EQ(system.state().byzantine_total(), byz_before + 1);
+  EXPECT_TRUE(system.state().byzantine.contains(node));
+}
+
+TEST(NowLeaveTest, LeaveRemovesExactlyOneNode) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 6};
+  system.initialize(400, 60);
+  const NodeId victim = system.state().random_node(system.rng());
+  const std::size_t before = system.num_nodes();
+  const auto report = system.leave(victim);
+  EXPECT_EQ(system.num_nodes(), before - 1);
+  EXPECT_FALSE(system.state().node_home.contains(victim));
+  EXPECT_GT(report.cost.messages, 0u);
+  const auto inv = system.check();
+  EXPECT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
+}
+
+TEST(NowTest, JoinLeaveChurnKeepsInvariants) {
+  // Lemma 1 holds "as long as the security parameter k is large enough":
+  // at k = 3 a ~29-node cluster crossing 1/3 Byzantine is a percent-level
+  // event, so the deterministic test uses k = 5 and tau = 0.10, where the
+  // Chernoff tail is negligible. bench_thm3_longrun quantifies the k/tau
+  // trade-off statistically.
+  NowParams p = small_params();
+  p.k = 5;
+  p.tau = 0.10;
+  Metrics metrics;
+  NowSystem system{p, metrics, 7};
+  system.initialize(500, 50);
+  Rng rng{123};
+  for (int step = 0; step < 60; ++step) {
+    if (rng.bernoulli(0.5)) {
+      system.join(rng.bernoulli(0.10));
+    } else {
+      system.leave(system.state().random_node(rng));
+    }
+    const auto inv = system.check();
+    ASSERT_TRUE(inv.ok) << "step " << step << ": "
+                        << (inv.violations.empty() ? "" : inv.violations[0]);
+  }
+}
+
+TEST(NowTest, SmallKChurnStaysBelowOneHalf) {
+  // At the small k = 3 the 1/3 line can be grazed transiently (see above),
+  // but honest majorities — what the > 1/2 communication rule needs — must
+  // persist.
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 7};
+  system.initialize(400, 60);
+  Rng rng{123};
+  for (int step = 0; step < 60; ++step) {
+    if (rng.bernoulli(0.5)) {
+      system.join(rng.bernoulli(0.15));
+    } else {
+      system.leave(system.state().random_node(rng));
+    }
+    const auto inv = system.check();
+    ASSERT_LT(inv.worst_byz_fraction, 0.5) << "step " << step;
+  }
+}
+
+TEST(NowTest, SustainedGrowthTriggersSplits) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 8};
+  system.initialize(400, 0);
+  const std::size_t clusters_before = system.num_clusters();
+  std::size_t splits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto [node, report] = system.join(false);
+    splits += report.splits;
+  }
+  EXPECT_GT(splits, 0u);
+  EXPECT_GT(system.num_clusters(), clusters_before);
+  EXPECT_TRUE(system.check().ok);
+}
+
+TEST(NowTest, SustainedShrinkageTriggersMerges) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 9};
+  system.initialize(500, 0);
+  Rng rng{321};
+  std::size_t merges = 0;
+  for (int i = 0; i < 250 && system.num_nodes() > 100; ++i) {
+    const auto report = system.leave(system.state().random_node(rng));
+    merges += report.merges;
+  }
+  EXPECT_GT(merges, 0u);
+  EXPECT_TRUE(system.check().ok);
+}
+
+TEST(NowTest, AbsorbMergePolicyAlsoMaintainsInvariants) {
+  NowParams p = small_params();
+  p.merge_policy = MergePolicy::kAbsorb;
+  p.k = 5;
+  p.tau = 0.10;
+  Metrics metrics;
+  NowSystem system{p, metrics, 10};
+  system.initialize(600, 60);
+  Rng rng{11};
+  for (int i = 0; i < 200 && system.num_nodes() > 150; ++i) {
+    system.leave(system.state().random_node(rng));
+    const auto inv = system.check();
+    ASSERT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
+  }
+}
+
+TEST(NowTest, NoShuffleModeSkipsExchanges) {
+  NowParams p = small_params();
+  p.shuffle_enabled = false;
+  Metrics metrics;
+  NowSystem system{p, metrics, 12};
+  system.initialize(400, 0);
+  system.join(false);
+  EXPECT_EQ(metrics.operation_count("exchange"), 0u);
+}
+
+TEST(NowTest, ShuffleModeRunsExchanges) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 13};
+  system.initialize(400, 0);
+  system.join(false);
+  EXPECT_GE(metrics.operation_count("exchange"), 1u);
+}
+
+TEST(NowTest, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Metrics metrics;
+    NowSystem system{small_params(), metrics, seed};
+    system.initialize(400, 60);
+    Rng rng{99};
+    for (int i = 0; i < 30; ++i) {
+      if (rng.bernoulli(0.5)) {
+        system.join(rng.bernoulli(0.2));
+      } else {
+        system.leave(system.state().random_node(rng));
+      }
+    }
+    return std::tuple{metrics.total().messages, metrics.total().rounds,
+                      system.num_nodes(), system.num_clusters()};
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<0>(run(42)), std::get<0>(run(43)));
+}
+
+TEST(NowTest, ExchangePreservesClusterSizes) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 14};
+  system.initialize(400, 60);
+  std::map<ClusterId, std::size_t> sizes_before;
+  for (const auto& [id, c] : system.state().clusters)
+    sizes_before[id] = c.size();
+  const ClusterId target = system.state().clusters.begin()->first;
+  system.exchange_all(target);
+  for (const auto& [id, c] : system.state().clusters) {
+    EXPECT_EQ(c.size(), sizes_before.at(id)) << "cluster " << id;
+  }
+  EXPECT_EQ(system.num_nodes(), 400u);
+}
+
+TEST(NowTest, ExchangeReplacesMostMembers) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 15};
+  system.initialize(400, 60);
+  const ClusterId target = system.state().clusters.begin()->first;
+  const auto before = system.state().cluster_at(target).members();
+  system.exchange_all(target);
+  const auto after = system.state().cluster_at(target).members();
+  std::size_t stayed = 0;
+  for (const NodeId m : after) {
+    if (std::binary_search(before.begin(), before.end(), m)) ++stayed;
+  }
+  // Swapped-out members can flow back (their replacement draw may hit this
+  // cluster again), but the overwhelming majority should be new.
+  EXPECT_LT(stayed, before.size() / 2);
+}
+
+TEST(NowTest, NodeIdsAreNeverReused) {
+  Metrics metrics;
+  NowSystem system{small_params(), metrics, 16};
+  system.initialize(300, 0);
+  std::set<NodeId> seen;
+  for (const auto& [id, home] : system.state().node_home) seen.insert(id);
+  Rng rng{5};
+  for (int i = 0; i < 40; ++i) {
+    system.leave(system.state().random_node(rng));
+    const auto [node, report] = system.join(false);
+    EXPECT_TRUE(seen.insert(node).second) << "node id reused";
+  }
+}
+
+}  // namespace
+}  // namespace now::core

@@ -1,0 +1,93 @@
+// Property tests on the parameter derivations — in particular the paper's
+// structural requirement l > sqrt(2): a freshly split half must land
+// strictly above the merge threshold (else one operation could immediately
+// re-trigger the opposite one and restructuring would never settle).
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace now::core {
+namespace {
+
+class ParamsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, double>> {
+};
+
+TEST_P(ParamsPropertyTest, ThresholdOrderingHolds) {
+  const auto [N, k, l] = GetParam();
+  NowParams p;
+  p.max_size = N;
+  p.k = k;
+  p.l = l;
+  EXPECT_LT(p.merge_threshold(), p.cluster_size_target());
+  EXPECT_LT(p.cluster_size_target(), p.split_threshold() + 1);
+  EXPECT_GE(p.cluster_size_bound(), p.split_threshold());
+}
+
+TEST_P(ParamsPropertyTest, SplitHalvesStayAboveMergeLine) {
+  // l > sqrt(2)  <=>  (l k lnN)/2 > k lnN / l: half of a just-split cluster
+  // is still above the merge threshold.
+  const auto [N, k, l] = GetParam();
+  NowParams p;
+  p.max_size = N;
+  p.k = k;
+  p.l = l;
+  const std::size_t just_split_half = (p.split_threshold() + 1) / 2;
+  if (l > 1.45) {  // comfortably above sqrt(2)
+    EXPECT_GE(just_split_half, p.merge_threshold())
+        << "N=" << N << " k=" << k << " l=" << l;
+  }
+}
+
+TEST_P(ParamsPropertyTest, MergedPairStaysBelowSplitLine) {
+  // Dually, two merge-threshold clusters absorbed into one stay below the
+  // split threshold when l > sqrt(2).
+  const auto [N, k, l] = GetParam();
+  NowParams p;
+  p.max_size = N;
+  p.k = k;
+  p.l = l;
+  if (l > 1.45) {
+    EXPECT_LE(2 * (p.merge_threshold() - 1), p.split_threshold())
+        << "N=" << N << " k=" << k << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParamsPropertyTest,
+    ::testing::Combine(::testing::Values(1ULL << 10, 1ULL << 14, 1ULL << 18,
+                                         1ULL << 22),
+                       ::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(1.5, 1.7, 2.0, 3.0)));
+
+TEST(ParamsTest, DynamicBaseIsMonotoneInN) {
+  NowParams p;
+  p.max_size = 1 << 16;
+  p.threshold_mode = ThresholdMode::kDynamicCurrentN;
+  std::size_t prev = 0;
+  for (const std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    const std::size_t target = p.cluster_size_target(n);
+    EXPECT_GE(target, prev);
+    prev = target;
+  }
+  // Dynamic thresholds never exceed the static (N-keyed) ones.
+  EXPECT_LE(p.cluster_size_target(256), [&] {
+    NowParams q = p;
+    q.threshold_mode = ThresholdMode::kStaticN;
+    return q.cluster_size_target(256);
+  }());
+}
+
+TEST(ParamsTest, WalkBoundIsKeyedToNEvenInDynamicMode) {
+  NowParams p;
+  p.max_size = 1 << 16;
+  p.threshold_mode = ThresholdMode::kDynamicCurrentN;
+  // The acceptance denominator must bound sizes across the WHOLE run.
+  EXPECT_GE(p.cluster_size_bound(), p.split_threshold(1 << 16));
+  EXPECT_GE(p.cluster_size_bound(), p.split_threshold(256));
+}
+
+}  // namespace
+}  // namespace now::core

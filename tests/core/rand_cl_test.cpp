@@ -1,0 +1,123 @@
+#include "core/rand_cl.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/now.hpp"
+
+namespace now::core {
+namespace {
+
+NowParams test_params(WalkMode mode) {
+  NowParams p;
+  p.max_size = 1 << 12;
+  p.tau = 0.15;
+  p.walk_mode = mode;
+  return p;
+}
+
+class RandClLawTest : public ::testing::TestWithParam<WalkMode> {};
+
+TEST_P(RandClLawTest, EndpointLawIsSizeBiased) {
+  // The paper's requirement: randCl returns cluster C with probability
+  // |C| / n (footnote ‡ / Section 3.1).
+  Metrics metrics;
+  NowSystem system{test_params(GetParam()), metrics, 12345};
+  system.initialize(600, 90);
+  ASSERT_GE(system.num_clusters(), 10u);
+
+  const ClusterId start = system.state().clusters.begin()->first;
+  constexpr int kTrials = 4000;
+  std::map<ClusterId, std::uint64_t> counts;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto result = system.rand_cl_from(start);
+    ASSERT_TRUE(result.cluster.valid());
+    counts[result.cluster]++;
+  }
+
+  std::vector<std::uint64_t> observed;
+  std::vector<double> probs;
+  const double n = static_cast<double>(system.num_nodes());
+  for (const auto& [id, c] : system.state().clusters) {
+    observed.push_back(counts[id]);
+    probs.push_back(static_cast<double>(c.size()) / n);
+  }
+  const double stat = chi_square_statistic(observed, probs);
+  const double p = chi_square_p_value(stat, observed.size() - 1);
+  EXPECT_GT(p, 1e-4) << "walk endpoints deviate from the |C|/n law";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RandClLawTest,
+                         ::testing::Values(WalkMode::kSimulate,
+                                           WalkMode::kSampleExact));
+
+TEST(RandClTest, SimulatedWalkChargesMessagesAndReportsRounds) {
+  Metrics metrics;
+  NowSystem system{test_params(WalkMode::kSimulate), metrics, 7};
+  system.initialize(600, 0);
+  const ClusterId start = system.state().clusters.begin()->first;
+  const auto before = metrics.total().messages;
+  const auto result = system.rand_cl_from(start);
+  EXPECT_GT(metrics.total().messages, before);
+  EXPECT_GT(result.cost.rounds, 0u);
+}
+
+TEST(RandClTest, RestartsAreRare) {
+  // Acceptance probability is ~ |C| / (l k ln N + 1) >= 1/l^2: a couple of
+  // restarts at most in expectation.
+  Metrics metrics;
+  NowSystem system{test_params(WalkMode::kSimulate), metrics, 8};
+  system.initialize(600, 0);
+  const ClusterId start = system.state().clusters.begin()->first;
+  RunningStat restarts;
+  for (int i = 0; i < 500; ++i) {
+    restarts.add(static_cast<double>(system.rand_cl_from(start).restarts));
+  }
+  EXPECT_LT(restarts.mean(), 3.0);
+}
+
+TEST(RandClTest, WalkLengthTracksLog2OfClusters) {
+  Metrics metrics;
+  NowSystem system{test_params(WalkMode::kSimulate), metrics, 9};
+  system.initialize(600, 0);
+  const double m = static_cast<double>(system.num_clusters());
+  const ClusterId start = system.state().clusters.begin()->first;
+  RunningStat hops;
+  for (int i = 0; i < 500; ++i) {
+    hops.add(static_cast<double>(system.rand_cl_from(start).hops));
+  }
+  const double expected = std::log(m) * std::log(m);
+  EXPECT_GT(hops.mean(), expected * 0.3);
+  EXPECT_LT(hops.mean(), expected * 4.0);
+}
+
+TEST(RandClTest, SampleExactChargesModeledCost) {
+  Metrics metrics;
+  NowSystem system{test_params(WalkMode::kSampleExact), metrics, 10};
+  system.initialize(600, 0);
+  const ClusterId start = system.state().clusters.begin()->first;
+  const auto before = metrics.total().messages;
+  const auto result = system.rand_cl_from(start);
+  EXPECT_EQ(metrics.total().messages - before, result.cost.messages);
+  EXPECT_GT(result.cost.messages, 0u);
+  EXPECT_GT(result.cost.rounds, 0u);
+}
+
+TEST(RandClTest, SingleClusterSystemAlwaysReturnsIt) {
+  NowParams p = test_params(WalkMode::kSimulate);
+  Metrics metrics;
+  NowSystem system{p, metrics, 11};
+  system.initialize(p.cluster_size_target(), 0);  // exactly one cluster
+  ASSERT_EQ(system.num_clusters(), 1u);
+  const ClusterId only = system.state().clusters.begin()->first;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(system.rand_cl_from(only).cluster, only);
+  }
+}
+
+}  // namespace
+}  // namespace now::core

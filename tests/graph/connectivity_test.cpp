@@ -1,0 +1,82 @@
+#include "graph/connectivity.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace now::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(0, n - 1);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+TEST(ConnectivityTest, SingleComponent) {
+  const Graph g = path_graph(5);
+  const auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ConnectivityTest, TwoComponents) {
+  Graph g = path_graph(4);
+  g.add_vertex(100);
+  g.add_vertex(101);
+  g.add_edge(100, 101);
+  const auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].size(), 4u);
+  EXPECT_EQ(comps[1].size(), 2u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(Graph{}));
+}
+
+TEST(ConnectivityTest, BfsDistancesOnPath) {
+  const Graph g = path_graph(6);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(dist.at(v), v);
+}
+
+TEST(ConnectivityTest, BfsSkipsUnreachable) {
+  Graph g = path_graph(3);
+  g.add_vertex(50);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist.size(), 3u);
+  EXPECT_FALSE(dist.contains(50));
+}
+
+TEST(DiameterTest, KnownDiameters) {
+  EXPECT_EQ(diameter(path_graph(7)), 6u);
+  EXPECT_EQ(diameter(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter(complete_graph(5)), 1u);
+}
+
+TEST(DiameterTest, DisconnectedIsInfinite) {
+  Graph g = path_graph(3);
+  g.add_vertex(50);
+  EXPECT_EQ(diameter(g), std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace now::graph

@@ -1,0 +1,81 @@
+#include "graph/erdos_renyi.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace now::graph {
+namespace {
+
+std::vector<Vertex> make_vertices(std::size_t n) {
+  std::vector<Vertex> verts(n);
+  for (std::size_t i = 0; i < n; ++i) verts[i] = i;
+  return verts;
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityGivesNoEdges) {
+  Graph g;
+  Rng rng{1};
+  const auto verts = make_vertices(20);
+  generate_erdos_renyi(g, verts, 0.0, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, UnitProbabilityGivesCompleteGraph) {
+  Graph g;
+  Rng rng{2};
+  const auto verts = make_vertices(12);
+  generate_erdos_renyi(g, verts, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 12u * 11 / 2);
+}
+
+TEST(ErdosRenyiTest, EdgeCountConcentratesAroundExpectation) {
+  Rng rng{3};
+  const auto verts = make_vertices(200);
+  const double p = 0.1;
+  const double expected = p * 200 * 199 / 2.0;
+  double total = 0;
+  constexpr int kRuns = 20;
+  for (int run = 0; run < kRuns; ++run) {
+    Graph g;
+    generate_erdos_renyi(g, verts, p, rng);
+    total += static_cast<double>(g.num_edges());
+  }
+  const double mean = total / kRuns;
+  EXPECT_NEAR(mean, expected, expected * 0.05);
+}
+
+TEST(ErdosRenyiTest, SmallAndDegenerateInputs) {
+  Rng rng{4};
+  Graph g0;
+  generate_erdos_renyi(g0, {}, 0.5, rng);
+  EXPECT_EQ(g0.num_vertices(), 0u);
+
+  Graph g1;
+  const std::vector<Vertex> one{7};
+  generate_erdos_renyi(g1, one, 0.5, rng);
+  EXPECT_EQ(g1.num_vertices(), 1u);
+  EXPECT_EQ(g1.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, PairInclusionIsUnbiased) {
+  // Each specific pair should appear with probability ~ p.
+  Rng rng{5};
+  const auto verts = make_vertices(10);
+  const double p = 0.3;
+  constexpr int kRuns = 5000;
+  int hits_01 = 0;
+  int hits_89 = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    Graph g;
+    generate_erdos_renyi(g, verts, p, rng);
+    hits_01 += g.has_edge(0, 1) ? 1 : 0;
+    hits_89 += g.has_edge(8, 9) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits_01) / kRuns, p, 0.03);
+  EXPECT_NEAR(static_cast<double>(hits_89) / kRuns, p, 0.03);
+}
+
+}  // namespace
+}  // namespace now::graph

@@ -1,0 +1,67 @@
+#include "graph/isoperimetric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace now::graph {
+namespace {
+
+Graph complete_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(0, n - 1);
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(IsoperimetricTest, CompleteGraph) {
+  // K_n: any |S| = k cut has k(n-k) edges; min over k <= n/2 of (n-k) is
+  // n - floor(n/2) = ceil(n/2).
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(complete_graph(4)), 2.0);
+}
+
+TEST(IsoperimetricTest, CompleteGraphOdd) {
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(complete_graph(5)), 3.0);
+}
+
+TEST(IsoperimetricTest, CycleGraph) {
+  // C_n: best cut is a contiguous arc of n/2 vertices: 2 edges / (n/2).
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(cycle_graph(6)), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(cycle_graph(8)), 0.5);
+}
+
+TEST(IsoperimetricTest, PathGraph) {
+  // P_n: cut one end half: 1 edge / (n/2).
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(path_graph(8)), 0.25);
+}
+
+TEST(IsoperimetricTest, DisconnectedIsZero) {
+  Graph g = path_graph(3);
+  g.add_vertex(10);
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(g), 0.0);
+}
+
+TEST(IsoperimetricTest, StarGraph) {
+  // Star K_{1,5}: best is any leaf set of size 3: 3 edges / 3 = 1.
+  Graph g;
+  for (Vertex v = 0; v <= 5; ++v) g.add_vertex(v);
+  for (Vertex v = 1; v <= 5; ++v) g.add_edge(0, v);
+  EXPECT_DOUBLE_EQ(exact_isoperimetric_constant(g), 1.0);
+}
+
+}  // namespace
+}  // namespace now::graph

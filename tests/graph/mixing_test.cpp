@@ -1,0 +1,82 @@
+#include "graph/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/random_walk.hpp"
+
+namespace now::graph {
+namespace {
+
+Graph cycle_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(0, n - 1);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+TEST(MixingTest, SpectralBoundDominatesEmpiricalTime) {
+  // The t_mix upper bound must sit above the exact mixing time.
+  Rng rng{1};
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g;
+    std::vector<Vertex> verts;
+    for (Vertex v = 0; v < 14; ++v) verts.push_back(v);
+    generate_erdos_renyi(g, verts, 0.45, rng);
+    if (g.min_degree() == 0) continue;
+    Rng est_rng{static_cast<std::uint64_t>(trial) + 10};
+    const auto est = estimate_mixing(g, est_rng, 1e-3);
+    if (est.generator_gap <= 0.0) continue;
+    const double exact = empirical_mixing_time(g, 1e-3);
+    EXPECT_GE(est.t_mix_bound, exact * 0.9) << "trial " << trial;
+  }
+}
+
+TEST(MixingTest, CompleteGraphMixesFasterThanCycle) {
+  const double fast = empirical_mixing_time(complete_graph(12), 1e-3);
+  const double slow = empirical_mixing_time(cycle_graph(12), 1e-3);
+  EXPECT_LT(fast * 3, slow);
+}
+
+TEST(MixingTest, EmpiricalTimeActuallyMixes) {
+  const Graph g = cycle_graph(10);
+  const double t = empirical_mixing_time(g, 1e-3);
+  for (const Vertex v : g.vertices()) {
+    EXPECT_LE(tv_distance_from_uniform(g, ctrw_distribution(g, v, t)),
+              1e-3 + 1e-9);
+  }
+  // Just below the mixing time, some start is NOT yet mixed.
+  double worst = 0.0;
+  for (const Vertex v : g.vertices()) {
+    worst = std::max(worst, tv_distance_from_uniform(
+                                g, ctrw_distribution(g, v, t * 0.8)));
+  }
+  EXPECT_GT(worst, 1e-3);
+}
+
+TEST(MixingTest, ExpanderHopsAreLogarithmic) {
+  // On an ER expander the expected hops to mix should be O(log n) — far
+  // below n. This is the fact that makes randCl cheap.
+  Rng rng{3};
+  Graph g;
+  std::vector<Vertex> verts;
+  for (Vertex v = 0; v < 60; ++v) verts.push_back(v);
+  generate_erdos_renyi(g, verts, 0.2, rng);
+  if (g.min_degree() == 0) GTEST_SKIP();
+  Rng est_rng{4};
+  const auto est = estimate_mixing(g, est_rng, 1e-3);
+  ASSERT_GT(est.generator_gap, 0.0);
+  EXPECT_LT(est.expected_hops, 60.0);  // << n would be the slow regime
+}
+
+}  // namespace
+}  // namespace now::graph

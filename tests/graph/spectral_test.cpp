@@ -1,0 +1,105 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/isoperimetric.hpp"
+
+namespace now::graph {
+namespace {
+
+Graph complete_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g;
+  for (Vertex v = 0; v < n; ++v) g.add_vertex(v);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(0, n - 1);
+  return g;
+}
+
+TEST(SpectralTest, CompleteGraphHasLargeGap) {
+  // Walk matrix of K_n has lambda2 = -1/(n-1): the gap is ~1.
+  Rng rng{1};
+  const auto est = estimate_expansion(complete_graph(10), rng);
+  EXPECT_GT(est.spectral_gap, 0.9);
+  EXPECT_GT(est.conductance_lower, 0.4);
+}
+
+TEST(SpectralTest, LongCycleHasTinyGap) {
+  Rng rng{2};
+  const auto est = estimate_expansion(cycle_graph(40), rng, 2000);
+  // lambda2 = cos(2*pi/40) ~ 0.9877.
+  EXPECT_NEAR(est.lambda2, 0.9877, 0.01);
+  EXPECT_LT(est.spectral_gap, 0.05);
+}
+
+TEST(SpectralTest, CheegerSandwichOnSmallRandomGraphs) {
+  // conductance_lower <= exact I(G)/d_max ... more precisely:
+  //   edge_expansion_lower <= I(G) <= sweep_edge_expansion.
+  Rng rng{3};
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g;
+    std::vector<Vertex> verts;
+    for (Vertex v = 0; v < 12; ++v) verts.push_back(v);
+    generate_erdos_renyi(g, verts, 0.5, rng);
+    if (g.min_degree() == 0) continue;
+    const double exact = exact_isoperimetric_constant(g);
+    if (exact == 0.0) continue;  // disconnected sample
+    Rng est_rng{static_cast<std::uint64_t>(trial) + 100};
+    const auto est = estimate_expansion(g, est_rng, 800);
+    EXPECT_LE(est.edge_expansion_lower, exact + 1e-6) << "trial " << trial;
+    EXPECT_GE(est.sweep_edge_expansion, exact - 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(SpectralTest, SweepConductanceBoundsTrueConductance) {
+  // On a barbell (two cliques + bridge) the sweep cut should find the
+  // bottleneck: conductance ~ 1 / (2 * E(clique)).
+  Graph g;
+  for (Vertex v = 0; v < 12; ++v) g.add_vertex(v);
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v) g.add_edge(u, v);
+  for (Vertex u = 6; u < 12; ++u)
+    for (Vertex v = u + 1; v < 12; ++v) g.add_edge(u, v);
+  g.add_edge(0, 6);
+  Rng rng{4};
+  const auto est = estimate_expansion(g, rng, 2000);
+  // vol(half) = 2*15 + 1 = 31, cut = 1.
+  EXPECT_NEAR(est.sweep_conductance, 1.0 / 31.0, 1e-6);
+  EXPECT_LE(est.conductance_lower, 1.0 / 31.0 + 1e-6);
+}
+
+TEST(SpectralTest, IsolatedVertexReportsZeroExpansion) {
+  Graph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(0, 1);
+  Rng rng{5};
+  const auto est = estimate_expansion(g, rng);
+  EXPECT_DOUBLE_EQ(est.spectral_gap, 0.0);
+}
+
+TEST(SpectralTest, ExpanderBeatsCycleAtSameSize) {
+  Rng rng{6};
+  Graph expander;
+  std::vector<Vertex> verts;
+  for (Vertex v = 0; v < 40; ++v) verts.push_back(v);
+  generate_erdos_renyi(expander, verts, 0.25, rng);
+  if (expander.min_degree() == 0) GTEST_SKIP();
+  Rng r1{7};
+  Rng r2{8};
+  const auto er = estimate_expansion(expander, r1, 800);
+  const auto cy = estimate_expansion(cycle_graph(40), r2, 800);
+  EXPECT_GT(er.spectral_gap, cy.spectral_gap * 3);
+}
+
+}  // namespace
+}  // namespace now::graph

@@ -1,0 +1,43 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace now::sim {
+namespace {
+
+TEST(ScenarioCsvTest, WritesOneRowPerSample) {
+  ScenarioResult result;
+  InvariantSample a;
+  a.step = 0;
+  a.num_nodes = 100;
+  a.num_clusters = 4;
+  a.worst_byz_fraction = 0.125;
+  a.overlay_connected = true;
+  InvariantSample b = a;
+  b.step = 50;
+  b.compromised_clusters = 1;
+  b.overlay_connected = false;
+  result.samples = {a, b};
+
+  std::ostringstream os;
+  write_samples_csv(result, os);
+  const std::string csv = os.str();
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("worst_byz_fraction"), std::string::npos);
+  EXPECT_NE(csv.find("0.1250"), std::string::npos);
+  EXPECT_NE(csv.find("\n50,"), std::string::npos);
+}
+
+TEST(ScenarioCsvTest, EmptyResultIsJustTheHeader) {
+  ScenarioResult result;
+  std::ostringstream os;
+  write_samples_csv(result, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace now::sim

@@ -1,0 +1,100 @@
+// Configuration-matrix property tests: the Theorem-3 invariants must hold
+// across the cross product of the protocol's policy knobs, not just the
+// defaults. One TEST_P sweep over {merge policy} x {threshold mode} x
+// {randNum mode} x {robustness}, each run through init + mixed churn.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/now.hpp"
+
+namespace now::core {
+namespace {
+
+using Config = std::tuple<MergePolicy, ThresholdMode, cluster::RandNumMode,
+                          Robustness>;
+
+class ConfigMatrixTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigMatrixTest, ChurnPreservesInvariants) {
+  const auto [merge, thresholds, rand_mode, robustness] = GetParam();
+  NowParams p;
+  p.max_size = 1 << 12;
+  p.k = 6;
+  p.tau = 0.10;
+  p.merge_policy = merge;
+  p.threshold_mode = thresholds;
+  p.rand_num_mode = rand_mode;
+  p.robustness = robustness;
+  p.walk_mode = WalkMode::kSampleExact;
+
+  Metrics metrics;
+  NowSystem system{p, metrics, 4242};
+  system.initialize(500, 50, InitTopology::kModeledSparse);
+  Rng rng{17};
+
+  // Mixed churn with a mild downward then upward drift so both split and
+  // merge paths execute under every configuration.
+  for (int step = 0; step < 150; ++step) {
+    const double p_join = step < 75 ? 0.35 : 0.65;
+    if (rng.bernoulli(p_join)) {
+      system.join(rng.bernoulli(0.10));
+    } else if (system.num_nodes() > 50) {
+      system.leave(system.state().random_node(rng));
+    }
+    if (step % 10 == 0) {
+      const auto inv = system.check();
+      ASSERT_TRUE(inv.ok)
+          << "step " << step << ": "
+          << (inv.violations.empty() ? "" : inv.violations[0]);
+    }
+  }
+  // Conservation: the node map, the partition and the index agree.
+  const auto final_inv = system.check();
+  EXPECT_TRUE(final_inv.ok);
+  EXPECT_EQ(system.state().node_list.size(), system.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ConfigMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(MergePolicy::kDissolve, MergePolicy::kAbsorb),
+        ::testing::Values(ThresholdMode::kStaticN,
+                          ThresholdMode::kDynamicCurrentN),
+        ::testing::Values(cluster::RandNumMode::kFast,
+                          cluster::RandNumMode::kRobust),
+        ::testing::Values(Robustness::kPlain, Robustness::kAuthenticated)));
+
+class WalkModeEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalkModeEquivalenceTest, BothWalkModesKeepTheSameInvariants) {
+  // The kSampleExact fast path must be behaviorally indistinguishable from
+  // the simulated walk at the invariant level (the endpoint laws already
+  // match by the RandClLawTest chi-square).
+  for (const auto mode : {WalkMode::kSimulate, WalkMode::kSampleExact}) {
+    NowParams p;
+    p.max_size = 1 << 10;
+    p.k = 5;
+    p.tau = 0.10;
+    p.walk_mode = mode;
+    Metrics metrics;
+    NowSystem system{p, metrics, static_cast<std::uint64_t>(GetParam())};
+    system.initialize(300, 30, InitTopology::kModeledSparse);
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 3 + 1};
+    for (int step = 0; step < 40; ++step) {
+      if (rng.bernoulli(0.5)) {
+        system.join(rng.bernoulli(0.10));
+      } else {
+        system.leave(system.state().random_node(rng));
+      }
+    }
+    const auto inv = system.check();
+    EXPECT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkModeEquivalenceTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace now::core

@@ -1,0 +1,132 @@
+// Integration tests: full NOW deployments driven by each adversary through
+// the scenario harness, checking the Theorem-3 story end to end.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+
+namespace now::sim {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig config;
+  config.params.max_size = 1 << 12;
+  config.params.k = 5;    // deterministic-test regime (see core tests)
+  config.params.tau = 0.10;
+  config.params.walk_mode = core::WalkMode::kSampleExact;
+  config.n0 = 400;
+  config.steps = 400;
+  config.sample_every = 25;
+  return config;
+}
+
+TEST(ScenarioTest, RandomChurnHoldsInvariants) {
+  auto config = base_config();
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised);
+  EXPECT_LT(result.peak_byz_fraction, 1.0 / 3.0);
+  EXPECT_NEAR(static_cast<double>(result.final_nodes), 400.0, 5.0);
+  for (const auto& s : result.samples) {
+    EXPECT_TRUE(s.overlay_connected) << "step " << s.step;
+  }
+}
+
+TEST(ScenarioTest, JoinLeaveAttackIsNeutralizedByShuffling) {
+  auto config = base_config();
+  config.steps = 600;
+  Metrics metrics;
+  adversary::JoinLeaveAdversary adv{config.params.tau,
+                                    adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised)
+      << "first compromise at step " << result.first_compromise_step;
+}
+
+TEST(ScenarioTest, ForcedLeaveAttackIsNeutralizedByShuffling) {
+  auto config = base_config();
+  Metrics metrics;
+  adversary::ForcedLeaveAdversary adv{config.params.tau};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised);
+}
+
+TEST(ScenarioTest, PolynomialGrowthAndShrinkage) {
+  // n travels sqrt(N) -> ~N/4 -> back: the polynomial variance headline.
+  auto config = base_config();
+  const auto n_low = static_cast<std::size_t>(isqrt(config.params.max_size));
+  const std::size_t n_high = config.params.max_size / 4;
+  config.n0 = 0;  // start at sqrt(N)
+  config.steps = 2 * (n_high - n_low);
+  config.sample_every = 100;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{
+      config.params.tau, adversary::ChurnSchedule::oscillate(n_low, n_high)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised);
+  EXPECT_GT(result.total_splits, 0u);
+  EXPECT_GT(result.total_merges, 0u);
+  // Cluster count tracked the growth: at peak it must have multiplied.
+  std::size_t peak_clusters = 0;
+  for (const auto& s : result.samples) {
+    peak_clusters = std::max(peak_clusters, s.num_clusters);
+  }
+  EXPECT_GT(peak_clusters, 4 * result.samples.front().num_clusters);
+  // ... and came back down.
+  EXPECT_LT(result.final_clusters, peak_clusters / 2);
+}
+
+TEST(ScenarioTest, ClusterSizesStayLogarithmic) {
+  auto config = base_config();
+  config.steps = 300;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  for (const auto& s : result.samples) {
+    EXPECT_LE(s.max_cluster_size, config.params.split_threshold());
+    if (s.num_clusters > 1) {
+      EXPECT_GE(s.min_cluster_size, config.params.merge_threshold());
+    }
+  }
+}
+
+TEST(ScenarioTest, MetricsExposePerOperationCosts) {
+  auto config = base_config();
+  config.steps = 100;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_GT(result.samples.size(), 1u);
+  EXPECT_GT(metrics.operation_count("join"), 0u);
+  EXPECT_GT(metrics.operation_count("leave"), 0u);
+  EXPECT_GT(metrics.operation_count("exchange"), 0u);
+  const auto joins = metrics.operation_samples("join");
+  for (const auto& cost : joins) {
+    EXPECT_GT(cost.messages, 0u);
+    EXPECT_GT(cost.rounds, 0u);
+  }
+}
+
+TEST(ScenarioTest, NoShuffleBaselineFallsToTheSameAttack) {
+  auto config = base_config();
+  config.params.shuffle_enabled = false;
+  config.params.k = 3;  // the attack bench regime
+  config.params.tau = 0.15;
+  config.steps = 2500;
+  config.sample_every = 10;
+  Metrics metrics;
+  adversary::JoinLeaveAdversary adv{config.params.tau,
+                                    adversary::ChurnSchedule::hold(400),
+                                    /*background_churn=*/0.0};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_TRUE(result.ever_compromised)
+      << "no-shuffle baseline unexpectedly survived the join-leave attack";
+}
+
+}  // namespace
+}  // namespace now::sim

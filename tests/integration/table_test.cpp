@@ -1,0 +1,36 @@
+#include "sim/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace now::sim {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"N", "cost"});
+  t.add_row({"1024", "33"});
+  t.add_row({"65536", "128"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("65536"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace now::sim
