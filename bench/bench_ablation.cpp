@@ -83,7 +83,7 @@ void ablate_walk_factor() {
     core::NowSystem system{params, metrics,
                            static_cast<std::uint64_t>(factor * 100) + 3};
     system.initialize(800, 120, core::InitTopology::kModeledSparse);
-    const ClusterId start = system.state().clusters.begin()->first;
+    const ClusterId start = system.state().cluster_ids().front();
     RunningStat hops;
     RunningStat msgs;
     std::map<ClusterId, std::uint64_t> counts;
@@ -96,7 +96,8 @@ void ablate_walk_factor() {
     }
     std::vector<std::uint64_t> observed;
     std::vector<double> probs;
-    for (const auto& [id, c] : system.state().clusters) {
+    for (const ClusterId id : system.state().cluster_ids()) {
+      const auto& c = system.state().cluster_at(id);
       observed.push_back(counts[id]);
       probs.push_back(static_cast<double>(c.size()) /
                       static_cast<double>(system.num_nodes()));

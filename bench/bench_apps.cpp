@@ -27,21 +27,22 @@ void run() {
   std::vector<double> bcast_costs;
   bool crossover_ok = true;
 
-  for (const std::size_t n : {256, 512, 1024, 2048, 4096}) {
+  for (const std::size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
     core::NowParams params;
     params.max_size = 1 << 14;
     params.walk_mode = core::WalkMode::kSimulate;
     Metrics metrics;
     core::NowSystem system{params, metrics,
                            static_cast<std::uint64_t>(n) * 13};
-    system.initialize(n, static_cast<std::size_t>(0.15 * n),
+    system.initialize(
+        n, static_cast<std::size_t>(0.15 * static_cast<double>(n)),
                       core::InitTopology::kModeledSparse);
 
-    const NodeId source = system.state().node_home.begin()->first;
+    const NodeId source = system.state().live_nodes().front();
     const auto bcast = apps::broadcast(system, source, 7);
     const auto naive = apps::naive_broadcast_cost(n);
 
-    const ClusterId start = system.state().clusters.begin()->first;
+    const ClusterId start = system.state().cluster_ids().front();
     RunningStat sample_cost;
     for (int i = 0; i < 20; ++i) {
       sample_cost.add(static_cast<double>(

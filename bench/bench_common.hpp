@@ -3,9 +3,13 @@
 // paper-claim vs measured through sim::Table.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -16,6 +20,72 @@
 #include "sim/table.hpp"
 
 namespace now::bench {
+
+/// Machine-readable result sink: each bench appends (op, n, messages,
+/// rounds, wall_ns) rows and writes BENCH_<name>.json next to the binary,
+/// so the perf trajectory of every PR can be diffed mechanically instead of
+/// scraping stdout tables. wall_ns <= 0 means "not measured" and is emitted
+/// as null.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  ~JsonEmitter() { write(); }
+
+  void add(const std::string& op, std::uint64_t n, double messages,
+           double rounds, double wall_ns) {
+    rows_.push_back(Row{op, n, messages, rounds, wall_ns});
+  }
+
+  /// Writes BENCH_<name>.json (idempotent; also called by the destructor).
+  void write() {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    // Full round-trip precision: these files exist to be diffed mechanically
+    // across PRs, so the default 6-significant-digit truncation would both
+    // hide real changes and manufacture spurious equalities.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n
+          << ", \"messages\": " << r.messages << ", \"rounds\": " << r.rounds
+          << ", \"wall_ns\": ";
+      if (r.wall_ns > 0) {
+        out << r.wall_ns;
+      } else {
+        out << "null";
+      }
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Row {
+    std::string op;
+    std::uint64_t n;
+    double messages;
+    double rounds;
+    double wall_ns;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+/// Wall-clock nanoseconds consumed by `fn()`.
+template <typename Fn>
+double time_ns(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
 
 inline void print_header(const std::string& experiment_id,
                          const std::string& claim) {

@@ -16,12 +16,13 @@ void run() {
 
   sim::Table table({"N", "|C|", "mean_msgs", "ln^6(N)", "ln^7(N)",
                     "mean_rounds", "ln^4(N)"});
+  bench::JsonEmitter json("exchange_cost");
 
   std::vector<double> sweep_n;
   std::vector<double> costs;
   bool rounds_ok = true;
 
-  for (const std::uint64_t exponent : {10, 12, 14, 16, 18}) {
+  for (const std::uint64_t exponent : {10u, 12u, 14u, 16u, 18u}) {
     const std::uint64_t N = 1ULL << exponent;
     core::NowParams params;
     params.max_size = N;
@@ -29,23 +30,23 @@ void run() {
     Metrics metrics;
     core::NowSystem system{params, metrics, N + 23};
     const std::size_t n = std::min<std::size_t>(2500, N / 2);
-    system.initialize(n, static_cast<std::size_t>(0.15 * n),
+    system.initialize(
+        n, static_cast<std::size_t>(0.15 * static_cast<double>(n)),
                       core::InitTopology::kModeledSparse);
 
     RunningStat msgs;
     RunningStat rnds;
     std::size_t cluster_size = 0;
     const int trials = 25;
-    auto it = system.state().clusters.begin();
+    std::size_t cursor = 0;
+    double wall_ns = 0;
     for (int i = 0; i < trials; ++i) {
-      const ClusterId target = it->first;
-      ++it;
-      if (it == system.state().clusters.end()) {
-        it = system.state().clusters.begin();
-      }
+      const auto cluster_list = system.state().cluster_ids();
+      const ClusterId target = cluster_list[cursor++ % cluster_list.size()];
       cluster_size = system.state().cluster_at(target).size();
       const auto before = metrics.total().messages;
-      const Cost cost = system.exchange_all(target);
+      Cost cost;
+      wall_ns += bench::time_ns([&] { cost = system.exchange_all(target); });
       msgs.add(static_cast<double>(metrics.total().messages - before));
       rnds.add(static_cast<double>(cost.rounds));
     }
@@ -59,6 +60,7 @@ void run() {
                    sim::Table::fmt(bench::lnpow(N, 4.0), 0)});
     sweep_n.push_back(static_cast<double>(N));
     costs.push_back(msgs.mean());
+    json.add("exchange", N, msgs.mean(), rnds.mean(), wall_ns / trials);
     if (rnds.mean() > bench::lnpow(N, 4.0)) rounds_ok = false;
   }
   table.print(std::cout);

@@ -23,7 +23,7 @@ void run() {
 
   std::vector<double> dense_n;
   std::vector<double> dense_cost;
-  for (const std::uint64_t exponent : {10, 12, 14, 16}) {
+  for (const std::uint64_t exponent : {10u, 12u, 14u, 16u}) {
     const std::uint64_t N = 1ULL << exponent;
     const auto n0 = static_cast<std::size_t>(isqrt(N));
     for (const auto topology :

@@ -20,13 +20,14 @@ void run() {
 
   sim::Table table({"N", "op", "count", "mean_msgs", "p95_msgs",
                     "mean_rounds", "ln^6(N)", "ln^8(N)"});
+  bench::JsonEmitter json("fig2_maintenance");
 
   std::vector<double> sweep_n;
   std::vector<double> join_cost;
   std::vector<double> leave_cost;
   std::vector<double> leave_rounds;
 
-  for (const std::uint64_t exponent : {10, 12, 14, 16, 18}) {
+  for (const std::uint64_t exponent : {10u, 12u, 14u, 16u, 18u}) {
     const std::uint64_t N = 1ULL << exponent;
     core::NowParams params;
     params.max_size = N;
@@ -34,15 +35,21 @@ void run() {
     Metrics metrics;
     core::NowSystem system{params, metrics, N + 1};
     const std::size_t n = std::min<std::size_t>(N / 4, 2000);
-    system.initialize(n, static_cast<std::size_t>(0.15 * n),
+    system.initialize(
+        n, static_cast<std::size_t>(0.15 * static_cast<double>(n)),
                       core::InitTopology::kModeledSparse);
 
     // Alternate churn at constant size so both ops fire (and occasionally
-    // drive splits/merges).
+    // drive splits/merges). Wall time is accumulated per operation kind so
+    // the JSON trajectory tracks simulator speed alongside message cost.
     Rng rng{exponent};
+    double leave_wall_ns = 0;
+    double join_wall_ns = 0;
     for (int i = 0; i < 60; ++i) {
-      system.leave(system.state().random_node(rng));
-      system.join(rng.bernoulli(0.15));
+      leave_wall_ns += bench::time_ns(
+          [&] { system.leave(system.state().random_node(rng)); });
+      join_wall_ns +=
+          bench::time_ns([&] { system.join(rng.bernoulli(0.15)); });
     }
 
     for (const std::string op : {"join", "leave", "split", "merge"}) {
@@ -57,6 +64,11 @@ void run() {
                      sim::Table::fmt(bench::mean_rounds(samples), 1),
                      sim::Table::fmt(bench::lnpow(N, 6.0), 0),
                      sim::Table::fmt(bench::lnpow(N, 8.0), 0)});
+      double wall_ns = 0;
+      if (op == "join") wall_ns = join_wall_ns / 60.0;
+      if (op == "leave") wall_ns = leave_wall_ns / 60.0;
+      json.add(op, N, bench::mean_messages(samples),
+               bench::mean_rounds(samples), wall_ns);
     }
     sweep_n.push_back(static_cast<double>(N));
     join_cost.push_back(

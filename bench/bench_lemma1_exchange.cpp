@@ -43,7 +43,7 @@ void run() {
       // Worst-case seeding: make the target cluster 100% Byzantine by fiat
       // (the adversary cannot do better), then run the full exchange.
       auto& state = const_cast<core::NowState&>(system.state());
-      const ClusterId target = state.clusters.begin()->first;
+      const ClusterId target = state.cluster_ids().front();
 
       RunningStat fraction;
       int tail = 0;
@@ -53,7 +53,7 @@ void run() {
         // budget by unmarking the same number elsewhere.
         std::vector<NodeId> added;
         for (const NodeId m : state.cluster_at(target).members()) {
-          if (state.byzantine.insert(m).second) added.push_back(m);
+          if (state.byzantine.insert(m)) added.push_back(m);
         }
         std::size_t to_unmark = added.size();
         for (auto it = state.byzantine.begin();

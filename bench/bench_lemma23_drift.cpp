@@ -31,7 +31,7 @@ void run() {
   std::vector<double> mean_swaps_per_n;
   bool excursions_ok = true;
 
-  for (const std::uint64_t exponent : {10, 12, 14, 16, 18}) {
+  for (const std::uint64_t exponent : {10u, 12u, 14u, 16u, 18u}) {
     const std::uint64_t N = 1ULL << exponent;
     core::NowParams params;
     params.max_size = N;
@@ -43,7 +43,7 @@ void run() {
     system.initialize(n, static_cast<std::size_t>(kTau * n),
                       core::InitTopology::kModeledSparse);
     auto& state = const_cast<core::NowState&>(system.state());
-    const ClusterId target = state.clusters.begin()->first;
+    const ClusterId target = state.cluster_ids().front();
 
     RunningStat swaps_stat;
     std::vector<double> swaps_samples;

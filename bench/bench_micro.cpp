@@ -3,6 +3,12 @@
 // benches measure).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "agreement/phase_king.hpp"
 #include "cluster/rand_num.hpp"
 #include "core/now.hpp"
@@ -119,7 +125,7 @@ struct SystemFixture {
 
 void BM_RandClSimulated(benchmark::State& state) {
   SystemFixture fx{core::WalkMode::kSimulate};
-  const ClusterId start = fx.system.state().clusters.begin()->first;
+  const ClusterId start = fx.system.state().cluster_ids().front();
   for (auto _ : state) {
     benchmark::DoNotOptimize(fx.system.rand_cl_from(start).cluster);
   }
@@ -128,7 +134,7 @@ BENCHMARK(BM_RandClSimulated);
 
 void BM_RandClSampled(benchmark::State& state) {
   SystemFixture fx{core::WalkMode::kSampleExact};
-  const ClusterId start = fx.system.state().clusters.begin()->first;
+  const ClusterId start = fx.system.state().cluster_ids().front();
   for (auto _ : state) {
     benchmark::DoNotOptimize(fx.system.rand_cl_from(start).cluster);
   }
@@ -137,29 +143,63 @@ BENCHMARK(BM_RandClSampled);
 
 void BM_ExchangeAll(benchmark::State& state) {
   SystemFixture fx{core::WalkMode::kSampleExact};
-  auto it = fx.system.state().clusters.begin();
+  std::size_t cursor = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.system.exchange_all(it->first).messages);
-    ++it;
-    if (it == fx.system.state().clusters.end()) {
-      it = fx.system.state().clusters.begin();
-    }
+    const auto ids = fx.system.state().cluster_ids();
+    benchmark::DoNotOptimize(
+        fx.system.exchange_all(ids[cursor++ % ids.size()]).messages);
   }
 }
 BENCHMARK(BM_ExchangeAll);
 
+/// Join/leave churn at size n — the hot maintenance path whose per-op
+/// wall-clock cost gates how large a deployment the simulator can step.
 void BM_JoinLeaveCycle(benchmark::State& state) {
-  SystemFixture fx{core::WalkMode::kSampleExact};
-  Rng rng{10};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::NowParams params;
+  params.max_size = std::max<std::uint64_t>(std::uint64_t{1} << 12,
+                                            std::bit_ceil(2 * n));
+  params.walk_mode = core::WalkMode::kSampleExact;
+  Metrics metrics;
+  core::NowSystem system{params, metrics, 9};
+  system.initialize(n, n * 15 / 100, core::InitTopology::kModeledSparse);
   for (auto _ : state) {
-    const auto [node, report] = fx.system.join(false);
+    const auto [node, report] = system.join(false);
     benchmark::DoNotOptimize(report.cost.messages);
-    fx.system.leave(node);
+    system.leave(node);
   }
 }
-BENCHMARK(BM_JoinLeaveCycle);
+BENCHMARK(BM_JoinLeaveCycle)->Arg(800)->Arg(100000)->Arg(200000);
 
 }  // namespace
 }  // namespace now
 
-BENCHMARK_MAIN();
+// Custom main: in addition to the console table, always write the results to
+// BENCH_micro.json (google-benchmark's JSON schema: wall-ns per op lives in
+// real_time) so the wall-clock trajectory of the hot paths is machine-diffable
+// across PRs without remembering --benchmark_out flags. An explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  const auto has_flag = [&args](std::string_view prefix) {
+    return std::any_of(args.begin(), args.end(), [prefix](const char* arg) {
+      return std::string_view(arg).starts_with(prefix);
+    });
+  };
+  if (!has_flag("--benchmark_out=")) {
+    args.push_back(out_flag.data());
+    if (!has_flag("--benchmark_out_format=")) {
+      args.push_back(format_flag.data());
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,7 +72,9 @@ void run() {
   Metrics base_metrics;
   baseline::StaticPartitionSystem baseline{base_params, base_metrics, 99};
   const std::size_t base_n0 = 4 * n_low;
-  baseline.initialize(base_n0, static_cast<std::size_t>(0.15 * base_n0));
+  baseline.initialize(
+      base_n0,
+      static_cast<std::size_t>(0.15 * static_cast<double>(base_n0)));
   sim::Table base_table({"n", "#C", "max|C|", "join_msgs(last)"});
   std::uint64_t last_join_small = 0;
   std::uint64_t last_join_big = 0;
@@ -91,8 +93,9 @@ void run() {
   std::cout << "Static-#clusters baseline ([6,7,31] regime) on the same "
                "growth:\n";
   base_table.print(std::cout);
-  const double blowup = static_cast<double>(last_join_big) /
-                        std::max<std::uint64_t>(1, last_join_small);
+  const double blowup =
+      static_cast<double>(last_join_big) /
+      static_cast<double>(std::max<std::uint64_t>(1, last_join_small));
   std::cout << "baseline join-cost blow-up across the ramp: x"
             << sim::Table::fmt(blowup, 1) << "\n";
 

@@ -28,7 +28,7 @@ void run() {
                     "paper_I>=", "gap"});
 
   bool all_good = true;
-  for (const std::uint64_t exponent : {12, 14, 16, 18}) {
+  for (const std::uint64_t exponent : {12u, 14u, 16u, 18u}) {
     const std::uint64_t N = 1ULL << exponent;
     over::OverParams params;
     params.max_size = N;

@@ -27,7 +27,7 @@ void run() {
   bool law_ok = true;
   bool bounded = false;
 
-  for (const std::uint64_t exponent : {10, 12, 14, 16, 18}) {
+  for (const std::uint64_t exponent : {10u, 12u, 14u, 16u, 18u}) {
     const std::uint64_t N = 1ULL << exponent;
     core::NowParams params;
     params.max_size = N;
@@ -35,10 +35,11 @@ void run() {
     Metrics metrics;
     core::NowSystem system{params, metrics, N + 17};
     const std::size_t n = std::min<std::size_t>(2500, N / 2);
-    system.initialize(n, static_cast<std::size_t>(0.15 * n),
+    system.initialize(
+        n, static_cast<std::size_t>(0.15 * static_cast<double>(n)),
                       core::InitTopology::kModeledSparse);
 
-    const ClusterId start = system.state().clusters.begin()->first;
+    const ClusterId start = system.state().cluster_ids().front();
     RunningStat msgs;
     RunningStat rnds;
     RunningStat hops;
@@ -57,7 +58,8 @@ void run() {
 
     std::vector<std::uint64_t> observed;
     std::vector<double> probs;
-    for (const auto& [id, c] : system.state().clusters) {
+    for (const ClusterId id : system.state().cluster_ids()) {
+      const auto& c = system.state().cluster_at(id);
       observed.push_back(counts[id]);
       probs.push_back(static_cast<double>(c.size()) /
                       static_cast<double>(system.num_nodes()));

@@ -19,10 +19,7 @@ void RandomChurnAdversary::do_leave(core::NowSystem& system, Rng& rng) {
       static_cast<double>(state.byzantine_total()) > budget_after;
   NodeId victim = NodeId::invalid();
   if (over_budget && state.byzantine_total() > 0) {
-    auto it = state.byzantine.begin();
-    std::advance(it, static_cast<std::ptrdiff_t>(
-                         rng.uniform(state.byzantine_total())));
-    victim = *it;
+    victim = state.byzantine.at_index(rng.uniform(state.byzantine_total()));
   } else if (protect_byzantine_ &&
              state.num_nodes() > state.byzantine_total()) {
     victim = state.random_honest_node(rng);
@@ -53,10 +50,11 @@ void RandomChurnAdversary::step(core::NowSystem& system, std::size_t t,
 void JoinLeaveAdversary::retarget(const core::NowSystem& system) {
   // Full knowledge: aim at the cluster we already pollute the most.
   const auto& state = system.state();
-  if (target_.valid() && state.clusters.contains(target_)) return;
+  if (target_.valid() && state.has_cluster(target_)) return;
   double best = -1.0;
-  for (const auto& [id, c] : state.clusters) {
-    const double p = cluster::byzantine_fraction(c, state.byzantine);
+  for (const ClusterId id : state.cluster_ids()) {
+    const double p =
+        cluster::byzantine_fraction(state.cluster_at(id), state.byzantine);
     if (p > best) {
       best = p;
       target_ = id;
@@ -97,10 +95,11 @@ void JoinLeaveAdversary::step(core::NowSystem& system, std::size_t t,
 
 void ForcedLeaveAdversary::retarget(const core::NowSystem& system) {
   const auto& state = system.state();
-  if (target_.valid() && state.clusters.contains(target_)) return;
+  if (target_.valid() && state.has_cluster(target_)) return;
   double best = -1.0;
-  for (const auto& [id, c] : state.clusters) {
-    const double p = cluster::byzantine_fraction(c, state.byzantine);
+  for (const ClusterId id : state.cluster_ids()) {
+    const double p =
+        cluster::byzantine_fraction(state.cluster_at(id), state.byzantine);
     if (p > best) {
       best = p;
       target_ = id;
@@ -135,17 +134,20 @@ void ThrashAdversary::step(core::NowSystem& system, std::size_t /*t*/,
                            Rng& rng) {
   const auto& state = system.state();
   // Full knowledge: find the cluster closest to a threshold and push it
-  // over. Join-pressure targets the largest cluster (randCl lands there
-  // with the highest probability); drain-pressure removes members of the
-  // smallest one directly (forced leaves).
-  const auto [min_it, max_it] = [&] {
-    auto min_c = state.clusters.begin();
-    auto max_c = state.clusters.begin();
-    for (auto it = state.clusters.begin(); it != state.clusters.end(); ++it) {
-      if (it->second.size() < min_c->second.size()) min_c = it;
-      if (it->second.size() > max_c->second.size()) max_c = it;
+  // over. Join-pressure needs no target (randCl lands in the largest
+  // cluster with the highest probability by itself); drain-pressure removes
+  // members of the smallest one directly (forced leaves).
+  const ClusterId min_id = [&] {
+    ClusterId min_c = state.cluster_ids().front();
+    std::size_t min_size = state.cluster_at(min_c).size();
+    for (const ClusterId id : state.cluster_ids()) {
+      const std::size_t size = state.cluster_at(id).size();
+      if (size < min_size) {
+        min_c = id;
+        min_size = size;
+      }
     }
-    return std::pair{min_c, max_c};
+    return min_c;
   }();
 
   if (draining_) {
@@ -153,7 +155,7 @@ void ThrashAdversary::step(core::NowSystem& system, std::size_t /*t*/,
       draining_ = false;
       return;
     }
-    const auto& smallest = min_it->second;
+    const auto& smallest = state.cluster_at(min_id);
     const NodeId victim = smallest.random_member(rng);
     const auto report = system.leave(victim);
     merges_triggered_ += report.merges;

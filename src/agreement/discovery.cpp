@@ -5,7 +5,7 @@
 namespace now::agreement {
 
 DiscoveryResult run_discovery(const graph::Graph& topology,
-                              const std::set<NodeId>& byzantine,
+                              const NodeSet& byzantine,
                               Metrics& metrics) {
   DiscoveryResult result;
   const auto verts = topology.vertices();

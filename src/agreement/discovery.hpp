@@ -20,6 +20,7 @@
 #include <set>
 
 #include "common/metrics.hpp"
+#include "common/node_set.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
@@ -41,7 +42,7 @@ struct DiscoveryResult {
 /// never forward anything (their worst allowed behavior: withholding —
 /// identity forging is excluded by assumption). Charges cost to `metrics`.
 [[nodiscard]] DiscoveryResult run_discovery(const graph::Graph& topology,
-                                            const std::set<NodeId>& byzantine,
+                                            const NodeSet& byzantine,
                                             Metrics& metrics);
 
 }  // namespace now::agreement

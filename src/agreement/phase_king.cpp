@@ -190,7 +190,7 @@ class ByzantineKingActor final : public net::Actor {
 }  // namespace
 
 PhaseKingResult run_phase_king(std::span<const NodeId> members,
-                               const std::set<NodeId>& byzantine,
+                               const NodeSet& byzantine,
                                const std::map<NodeId, std::uint64_t>& inputs,
                                ByzBehavior behavior, Metrics& metrics,
                                Rng& rng) {

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <span>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -55,7 +55,7 @@ struct PhaseKingResult {
 /// the agreement guarantee (the function itself runs for any split and lets
 /// tests observe the failure mode).
 [[nodiscard]] PhaseKingResult run_phase_king(
-    std::span<const NodeId> members, const std::set<NodeId>& byzantine,
+    std::span<const NodeId> members, const NodeSet& byzantine,
     const std::map<NodeId, std::uint64_t>& inputs, ByzBehavior behavior,
     Metrics& metrics, Rng& rng);
 

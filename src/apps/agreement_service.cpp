@@ -1,5 +1,7 @@
 #include "apps/agreement_service.hpp"
 
+#include <algorithm>
+
 #include "apps/aggregation.hpp"
 #include "apps/broadcast.hpp"
 
@@ -14,7 +16,8 @@ AgreementReport decide_majority(core::NowSystem& system,
   // Root: the lowest-id live node's cluster (any deterministic rule works —
   // all honest nodes can compute it from their views).
   const auto& state = system.state();
-  const NodeId root = state.node_home.begin()->first;
+  const auto live = state.live_nodes();
+  const NodeId root = *std::min_element(live.begin(), live.end());
 
   // Count the ones (aggregation charges its own costs into our scope).
   const auto ones = aggregate_sum(

@@ -20,7 +20,7 @@ std::uint64_t weight(std::uint64_t key, ClusterId cluster) {
 ClusterId KeyValueService::key_home(std::uint64_t key) const {
   ClusterId best = ClusterId::invalid();
   std::uint64_t best_weight = 0;
-  for (const auto& [id, c] : system_.state().clusters) {
+  for (const ClusterId id : system_.state().cluster_ids()) {
     const std::uint64_t w = weight(key, id);
     if (!best.valid() || w > best_weight) {
       best = id;
@@ -121,7 +121,7 @@ std::size_t KeyValueService::repair() {
 
   std::map<ClusterId, std::map<std::uint64_t, std::uint64_t>> next;
   for (const auto& [cluster, entries] : shards_) {
-    const bool cluster_alive = state.clusters.contains(cluster);
+    const bool cluster_alive = state.has_cluster(cluster);
     for (const auto& [key, value] : entries) {
       const ClusterId home = key_home(key);
       if (!home.valid()) continue;

@@ -40,8 +40,8 @@ core::OpReport StaticPartitionSystem::leave(NodeId node) {
 
 std::size_t StaticPartitionSystem::max_cluster_size() const {
   std::size_t best = 0;
-  for (const auto& [id, c] : system_.state().clusters) {
-    best = std::max(best, c.size());
+  for (const ClusterId id : system_.state().cluster_ids()) {
+    best = std::max(best, system_.state().cluster_at(id).size());
   }
   return best;
 }

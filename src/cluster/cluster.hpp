@@ -10,9 +10,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <vector>
 
+#include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -60,8 +60,8 @@ class Cluster {
 };
 
 /// Number of `cluster`'s members that belong to `byzantine`.
-[[nodiscard]] inline std::size_t byzantine_count(
-    const Cluster& cluster, const std::set<NodeId>& byzantine) {
+[[nodiscard]] inline std::size_t byzantine_count(const Cluster& cluster,
+                                                 const NodeSet& byzantine) {
   std::size_t count = 0;
   for (const NodeId m : cluster.members())
     if (byzantine.contains(m)) ++count;
@@ -69,8 +69,8 @@ class Cluster {
 }
 
 /// Fraction of Byzantine members (p_C in the paper's analysis, Section 4).
-[[nodiscard]] inline double byzantine_fraction(
-    const Cluster& cluster, const std::set<NodeId>& byzantine) {
+[[nodiscard]] inline double byzantine_fraction(const Cluster& cluster,
+                                               const NodeSet& byzantine) {
   if (cluster.size() == 0) return 0.0;
   return static_cast<double>(byzantine_count(cluster, byzantine)) /
          static_cast<double>(cluster.size());

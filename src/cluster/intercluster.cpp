@@ -11,7 +11,7 @@ Cost cluster_send_cost(std::size_t from_size, std::size_t to_size,
 
 ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,
                                 std::uint64_t units,
-                                const std::set<NodeId>& byzantine,
+                                const NodeSet& byzantine,
                                 Metrics& metrics) {
   const Cost cost = cluster_send_cost(from.size(), to.size(), units);
   metrics.add_messages(cost.messages);

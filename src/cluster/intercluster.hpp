@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 
 #include "common/metrics.hpp"
 #include "common/types.hpp"
@@ -37,7 +36,7 @@ struct ClusterSendOutcome {
 /// `metrics` and reports acceptance under the > 1/2 rule.
 ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,
                                 std::uint64_t units,
-                                const std::set<NodeId>& byzantine,
+                                const NodeSet& byzantine,
                                 Metrics& metrics);
 
 }  // namespace now::cluster

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "agreement/phase_king.hpp"
@@ -15,7 +17,7 @@ using Opening = std::pair<NodeId, std::uint64_t>;  // (contributor, value)
 }  // namespace
 
 RandNumResult run_rand_num(std::span<const NodeId> members,
-                           const std::set<NodeId>& byzantine,
+                           const NodeSet& byzantine,
                            std::uint64_t r, RandNumMode mode,
                            RandNumByz behavior, Metrics& metrics, Rng& rng) {
   assert(r > 0);

@@ -28,11 +28,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <span>
 
 #include "common/metrics.hpp"
+#include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -62,7 +61,7 @@ struct RandNumResult {
 /// Message-level randNum among `members`. Requires at least one honest
 /// member. Charges all messages and rounds to `metrics`.
 [[nodiscard]] RandNumResult run_rand_num(std::span<const NodeId> members,
-                                         const std::set<NodeId>& byzantine,
+                                         const NodeSet& byzantine,
                                          std::uint64_t r, RandNumMode mode,
                                          RandNumByz behavior, Metrics& metrics,
                                          Rng& rng);

@@ -1,7 +1,7 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <utility>
 
 namespace now {
 
@@ -15,50 +15,69 @@ void Metrics::add_rounds(std::uint64_t count) {
   for (auto& frame : stack_) frame.cost.rounds += count;
 }
 
-Cost Metrics::operation_total(const std::string& label) const {
+OperationId Metrics::intern(std::string_view label) {
+  if (const auto it = id_by_label_.find(label); it != id_by_label_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<OperationId>(label_by_id_.size());
+  label_by_id_.emplace_back(label);
+  completed_.emplace_back();
+  id_by_label_.emplace(label_by_id_.back(), id);
+  return id;
+}
+
+const std::vector<Cost>* Metrics::samples_of(std::string_view label) const {
+  const auto it = id_by_label_.find(label);
+  if (it == id_by_label_.end()) return nullptr;
+  return &completed_[it->second];
+}
+
+Cost Metrics::operation_total(std::string_view label) const {
   Cost sum;
-  if (const auto it = completed_.find(label); it != completed_.end()) {
-    for (const auto& cost : it->second) sum += cost;
+  if (const auto* samples = samples_of(label)) {
+    for (const auto& cost : *samples) sum += cost;
   }
   return sum;
 }
 
-std::vector<Cost> Metrics::operation_samples(const std::string& label) const {
-  if (const auto it = completed_.find(label); it != completed_.end()) {
-    return it->second;
-  }
+std::vector<Cost> Metrics::operation_samples(std::string_view label) const {
+  if (const auto* samples = samples_of(label)) return *samples;
   return {};
 }
 
 std::vector<std::string> Metrics::labels() const {
   std::vector<std::string> result;
-  result.reserve(completed_.size());
-  for (const auto& [label, samples] : completed_) result.push_back(label);
+  for (OperationId id = 0; id < completed_.size(); ++id) {
+    if (!completed_[id].empty()) result.push_back(label_by_id_[id]);
+  }
+  std::sort(result.begin(), result.end());
   return result;
 }
 
-std::size_t Metrics::operation_count(const std::string& label) const {
-  const auto it = completed_.find(label);
-  return it == completed_.end() ? 0 : it->second.size();
+std::size_t Metrics::operation_count(std::string_view label) const {
+  const auto* samples = samples_of(label);
+  return samples == nullptr ? 0 : samples->size();
 }
 
 void Metrics::reset() {
   assert(stack_.empty() && "reset() while operations are in flight");
   total_ = Cost{};
-  completed_.clear();
+  // Interned ids survive reset (OperationId handles stay valid); only the
+  // recorded samples are dropped.
+  for (auto& samples : completed_) samples.clear();
 }
 
-OpScope::OpScope(Metrics& metrics, std::string label)
+OpScope::OpScope(Metrics& metrics, std::string_view label)
     : metrics_(metrics), index_(metrics.stack_.size()) {
-  metrics_.stack_.push_back({std::move(label), Cost{}});
+  metrics_.stack_.push_back({metrics_.intern(label), Cost{}});
 }
 
 OpScope::~OpScope() {
   assert(metrics_.stack_.size() == index_ + 1 &&
          "OpScopes must be destroyed in LIFO order");
-  auto frame = std::move(metrics_.stack_.back());
+  const Metrics::Frame frame = metrics_.stack_.back();
   metrics_.stack_.pop_back();
-  metrics_.completed_[frame.label].push_back(frame.cost);
+  metrics_.completed_[frame.op].push_back(frame.cost);
 }
 
 const Cost& OpScope::cost() const { return metrics_.stack_[index_].cost; }

@@ -10,11 +10,17 @@
 // OpScope objects attribute the charges to named operations (join, leave,
 // split, merge, randCl, exchange, ...) so benches can report per-operation
 // cost distributions exactly as Figure 2 tabulates them.
+//
+// Operation labels are interned: the first time a label is seen it is mapped
+// to a small dense OperationId; every subsequent scope open/close and sample
+// append works on the integer id. The string-keyed query API remains as a
+// thin shim over the id-indexed storage.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace now {
@@ -32,6 +38,9 @@ struct Cost {
   friend Cost operator+(Cost a, const Cost& b) { return a += b; }
   friend bool operator==(const Cost&, const Cost&) = default;
 };
+
+/// Dense id of an interned operation label.
+using OperationId = std::uint32_t;
 
 /// Accumulates protocol costs, globally and per named operation.
 ///
@@ -51,16 +60,21 @@ class Metrics {
 
   [[nodiscard]] const Cost& total() const { return total_; }
 
+  /// Interns `label`, returning its dense id (stable for the Metrics
+  /// lifetime, including across reset()). O(1) amortized; one hash of the
+  /// label on the first call per distinct string.
+  OperationId intern(std::string_view label);
+
   /// Sum of costs of all completed operations with this label.
-  [[nodiscard]] Cost operation_total(const std::string& label) const;
+  [[nodiscard]] Cost operation_total(std::string_view label) const;
   /// Costs of each completed operation with this label, in completion order.
   [[nodiscard]] std::vector<Cost> operation_samples(
-      const std::string& label) const;
-  /// Labels seen so far, sorted.
+      std::string_view label) const;
+  /// Labels with at least one completed operation, sorted.
   [[nodiscard]] std::vector<std::string> labels() const;
 
   /// Number of completed operations with this label.
-  [[nodiscard]] std::size_t operation_count(const std::string& label) const;
+  [[nodiscard]] std::size_t operation_count(std::string_view label) const;
 
   void reset();
 
@@ -68,13 +82,27 @@ class Metrics {
   friend class OpScope;
 
   struct Frame {
-    std::string label;
+    OperationId op;
     Cost cost;
   };
 
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Id of `label` if already interned, else an id with no samples.
+  [[nodiscard]] const std::vector<Cost>* samples_of(
+      std::string_view label) const;
+
   Cost total_;
   std::vector<Frame> stack_;
-  std::map<std::string, std::vector<Cost>> completed_;
+  std::unordered_map<std::string, OperationId, StringHash, std::equal_to<>>
+      id_by_label_;
+  std::vector<std::string> label_by_id_;
+  std::vector<std::vector<Cost>> completed_;  // indexed by OperationId
 };
 
 /// RAII scope attributing all costs charged during its lifetime to `label`.
@@ -83,7 +111,7 @@ class Metrics {
 /// makes.
 class OpScope {
  public:
-  OpScope(Metrics& metrics, std::string label);
+  OpScope(Metrics& metrics, std::string_view label);
   ~OpScope();
 
   OpScope(const OpScope&) = delete;

@@ -24,11 +24,11 @@ InvariantReport check_invariants(const NowState& state,
 
   // --- I5: bookkeeping consistency.
   std::size_t members_total = 0;
-  for (const auto& [id, c] : state.clusters) {
+  for (const ClusterId id : state.cluster_ids()) {
+    const auto& c = state.cluster_at(id);
     members_total += c.size();
     for (const NodeId m : c.members()) {
-      const auto it = state.node_home.find(m);
-      if (it == state.node_home.end() || it->second != id) {
+      if (state.home_of(m) != id) {
         std::ostringstream os;
         os << "node " << m << " member of cluster " << id
            << " but node_home disagrees";
@@ -47,6 +47,15 @@ InvariantReport check_invariants(const NowState& state,
        << state.num_nodes();
     violate(report, os.str());
   }
+  // Independent witness: the live-node registry is maintained by different
+  // mutators than the placement counter, so a double-add/double-remove in
+  // one of them cannot fool both checks.
+  if (members_total != state.live_nodes().size()) {
+    std::ostringstream os;
+    os << "partition covers " << members_total << " nodes, live registry has "
+       << state.live_nodes().size();
+    violate(report, os.str());
+  }
   if (state.overlay.num_clusters() != state.num_clusters()) {
     violate(report, "overlay vertex set differs from cluster set");
   }
@@ -55,7 +64,8 @@ InvariantReport check_invariants(const NowState& state,
   // authenticated regime of Remark 1).
   const double compromise_line = params.compromise_threshold();
   bool first = true;
-  for (const auto& [id, c] : state.clusters) {
+  for (const ClusterId id : state.cluster_ids()) {
+    const auto& c = state.cluster_at(id);
     const std::size_t size = c.size();
     if (first) {
       report.min_cluster_size = report.max_cluster_size = size;
@@ -77,7 +87,8 @@ InvariantReport check_invariants(const NowState& state,
   // --- I2: size window (keyed to the current n in dynamic-threshold mode).
   if (check_sizes) {
     const std::size_t n_now = state.num_nodes();
-    for (const auto& [id, c] : state.clusters) {
+    for (const ClusterId id : state.cluster_ids()) {
+      const auto& c = state.cluster_at(id);
       if (state.num_clusters() > 1 &&
           c.size() < params.merge_threshold(n_now)) {
         std::ostringstream os;

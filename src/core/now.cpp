@@ -139,14 +139,11 @@ InitReport NowSystem::initialize(std::size_t n0, std::size_t byzantine_count,
     std::vector<ClusterId> cluster_ids;
     cluster_ids.reserve(num_clusters);
     for (std::size_t c = 0; c < num_clusters; ++c) {
-      const ClusterId cid = state_.fresh_cluster_id();
-      cluster_ids.push_back(cid);
-      state_.clusters.emplace(cid, cluster::Cluster{cid});
+      cluster_ids.push_back(state_.create_cluster());
     }
     for (std::size_t i = 0; i < n0; ++i) {
       const ClusterId cid = cluster_ids[i % num_clusters];
-      state_.clusters.at(cid).add_member(ids[i]);
-      state_.node_home[ids[i]] = cid;
+      state_.add_member(cid, ids[i]);
       state_.register_node(ids[i]);
     }
 
@@ -165,7 +162,8 @@ InitReport NowSystem::initialize(std::size_t n0, std::size_t byzantine_count,
     // The representative cluster tells each node its cluster, the members,
     // and the adjacent clusters' compositions.
     std::uint64_t inform_messages = 0;
-    for (const auto& [cid, c] : state_.clusters) {
+    for (const ClusterId cid : state_.cluster_ids()) {
+      const auto& c = state_.cluster_at(cid);
       const std::uint64_t info_units =
           static_cast<std::uint64_t>(c.size()) +
           static_cast<std::uint64_t>(neighborhood_population(state_, cid));
@@ -223,7 +221,7 @@ over::Overlay::Sampler NowSystem::overlay_sampler(std::uint64_t* rounds_max) {
   return [this, rounds_max](ClusterId requester, Rng& rng) -> ClusterId {
     (void)rng;  // walks draw from the system rng for reproducibility
     ClusterId start = requester;
-    if (!state_.clusters.contains(start) ||
+    if (!state_.has_cluster(start) ||
         state_.overlay.degree(start) == 0) {
       // A vertex being wired for the first time cannot start a walk on its
       // own (no edges yet); its sponsor launches the walk instead. Fall back
@@ -238,12 +236,15 @@ over::Overlay::Sampler NowSystem::overlay_sampler(std::uint64_t* rounds_max) {
   };
 }
 
-Cost NowSystem::exchange_all(ClusterId c, std::set<ClusterId>* partners_out) {
+Cost NowSystem::exchange_all(ClusterId c,
+                             std::vector<ClusterId>* partners_out) {
   OpScope scope(metrics_, "exchange");
   std::uint64_t rounds_max = 0;
 
   const std::vector<NodeId> snapshot = state_.cluster_at(c).members();
-  std::set<ClusterId> partners;
+  // Distinct partner clusters this exchange touched; linear dedup is fine —
+  // a cluster has polylog members, so the list stays tiny.
+  std::vector<ClusterId> partners;
   for (const NodeId x : snapshot) {
     // Pick the counterpart cluster with randCl (law |C'|/n). The paper
     // exchanges "with nodes chosen at random from other clusters", so a
@@ -257,9 +258,12 @@ Cost NowSystem::exchange_all(ClusterId c, std::set<ClusterId>* partners_out) {
       partner = walk.cluster;
     }
     if (partner != c) {
-      partners.insert(partner);
-      auto& from = state_.cluster_at(c);
-      auto& to = state_.cluster_at(partner);
+      if (std::find(partners.begin(), partners.end(), partner) ==
+          partners.end()) {
+        partners.push_back(partner);
+      }
+      const auto& from = state_.cluster_at(c);
+      const auto& to = state_.cluster_at(partner);
       // Tell C' it will receive x.
       const auto notice =
           cluster::cluster_send(from, to, 1, state_.byzantine, metrics_);
@@ -308,9 +312,8 @@ std::uint64_t NowSystem::place_node(NodeId node, OpReport& report) {
   std::uint64_t rounds = walk.cost.rounds;
   const ClusterId target = walk.cluster;
 
-  auto& dest = state_.cluster_at(target);
-  dest.add_member(node);
-  state_.node_home[node] = target;
+  state_.add_member(target, node);
+  const auto& dest = state_.cluster_at(target);
 
   // Members of C' announce x to the neighboring clusters (1 unit delta).
   charge_neighborhood_broadcast(state_, target, 1, metrics_);
@@ -358,8 +361,8 @@ OpReport NowSystem::leave(NodeId node) {
   OpReport report;
 
   const ClusterId c = state_.home_of(node);
-  state_.cluster_at(c).remove_member(node);
-  state_.node_home.erase(node);
+  assert(c.valid() && "leave() of a node that is not placed");
+  state_.remove_member(c, node);
   state_.byzantine.erase(node);
   state_.unregister_node(node);
 
@@ -369,7 +372,7 @@ OpReport NowSystem::leave(NodeId node) {
 
   if (params_.shuffle_enabled && state_.cluster_at(c).size() > 0) {
     // C exchanges all of its nodes...
-    std::set<ClusterId> partners;
+    std::vector<ClusterId> partners;
     const Cost primary = exchange_all(c, &partners);
     rounds += primary.rounds;
     // ... and every cluster that swapped with C exchanges all of its own
@@ -377,7 +380,7 @@ OpReport NowSystem::leave(NodeId node) {
     // run in parallel: rounds combine by max.
     std::uint64_t secondary_max = 0;
     for (const ClusterId partner : partners) {
-      if (!state_.clusters.contains(partner)) continue;
+      if (!state_.has_cluster(partner)) continue;
       const Cost secondary = exchange_all(partner);
       secondary_max = std::max(secondary_max, secondary.rounds);
     }
@@ -411,8 +414,7 @@ std::uint64_t NowSystem::do_split(ClusterId c, OpReport& report) {
   }
   rng_.shuffle(std::span<NodeId>(members));
 
-  const ClusterId fresh = state_.fresh_cluster_id();
-  state_.clusters.emplace(fresh, cluster::Cluster{fresh});
+  const ClusterId fresh = state_.create_cluster();
   const std::size_t half = members.size() / 2;
   for (std::size_t i = half; i < members.size(); ++i) {
     state_.move_node(members[i], c, fresh);
@@ -460,7 +462,7 @@ std::uint64_t NowSystem::do_merge(ClusterId c, OpReport& report) {
     std::uint64_t repair_rounds = 0;
     state_.overlay.remove_vertex(victim, overlay_sampler(&repair_rounds),
                                  rng_);
-    state_.clusters.erase(victim);
+    state_.destroy_cluster(victim);
     rounds += repair_rounds + 1;
     charge_neighborhood_broadcast(state_, c, moving.size(), metrics_);
     rounds += 1;
@@ -476,12 +478,11 @@ std::uint64_t NowSystem::do_merge(ClusterId c, OpReport& report) {
   charge_neighborhood_broadcast(state_, c, 1, metrics_);  // "C is removed"
   rounds += 1;
   for (const NodeId x : members) {
-    state_.cluster_at(c).remove_member(x);
-    state_.node_home.erase(x);
+    state_.remove_member(c, x);
   }
   std::uint64_t repair_rounds = 0;
   state_.overlay.remove_vertex(c, overlay_sampler(&repair_rounds), rng_);
-  state_.clusters.erase(c);
+  state_.destroy_cluster(c);
   rounds += repair_rounds;
 
   // Members re-join via Algorithm 1 (the paper staggers them over the next

@@ -15,8 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <utility>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -96,8 +96,9 @@ class NowSystem {
   RandClResult rand_cl_from(ClusterId start);
 
   /// Full-cluster shuffle (Section 3.1 `exchange`); returns its cost and
-  /// records partner clusters in `partners_out` when non-null.
-  Cost exchange_all(ClusterId c, std::set<ClusterId>* partners_out = nullptr);
+  /// records the distinct partner clusters in `partners_out` when non-null.
+  Cost exchange_all(ClusterId c,
+                    std::vector<ClusterId>* partners_out = nullptr);
 
   [[nodiscard]] const NowState& state() const { return state_; }
   [[nodiscard]] const NowParams& params() const { return params_; }

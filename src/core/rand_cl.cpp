@@ -111,7 +111,7 @@ RandClResult sample_exact(const NowState& state, const NowParams& params,
 
 RandClResult run_rand_cl(const NowState& state, const NowParams& params,
                          ClusterId start, Metrics& metrics, Rng& rng) {
-  assert(state.clusters.contains(start));
+  assert(state.has_cluster(start));
   assert(state.num_clusters() > 0);
   switch (params.walk_mode) {
     case WalkMode::kSimulate:

@@ -7,85 +7,215 @@
 // outcome genuinely depends on adversarial membership (e.g. the inter-
 // cluster majority rule) and (b) by invariant checks and experiment metrics,
 // mirroring the role of the adversary's full knowledge in the paper's model.
+//
+// Storage layout (the flat-state refactor): every container on the
+// join/leave/exchange hot path is O(1) or O(log k) amortized.
+//   * clusters — a slot table (vector + free list) addressed through a paged
+//     ClusterId -> slot index, with a dense list of live ids for O(1)
+//     uniform sampling;
+//   * cluster sizes — mirrored in a Fenwick tree over slots, making the
+//     size-biased draw (randCl's limit law) O(log k) instead of O(k);
+//   * node_home / the live-node registry — paged arrays keyed by the
+//     sequential NodeId values;
+//   * byzantine — a flat NodeSet (dense vector + paged positions).
+// All membership mutations MUST flow through add_member / remove_member /
+// move_node so the Fenwick mirror stays consistent; Cluster objects are
+// only handed out const. corrupt_home_for_test exists for invariant tests
+// that need to break the bookkeeping on purpose.
 #pragma once
 
 #include <cassert>
-#include <map>
-#include <set>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/fenwick.hpp"
+#include "common/node_set.hpp"
+#include "common/paged_index.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "over/overlay.hpp"
 
 namespace now::core {
 
-struct NowState {
+class NowState {
+ public:
   explicit NowState(const over::OverParams& over_params)
-      : overlay(over_params) {}
+      : overlay(over_params),
+        cluster_slot_(kNoSlot),
+        node_home_(ClusterId::invalid()) {}
 
-  std::map<ClusterId, cluster::Cluster> clusters;
-  std::map<NodeId, ClusterId> node_home;
-  std::set<NodeId> byzantine;
+  /// The OVER overlay (vertices are the live ClusterIds).
   over::Overlay overlay;
 
-  /// Flat index of live nodes for O(1) uniform sampling (swap-and-pop on
-  /// removal). Maintained by register_node / unregister_node.
-  std::vector<NodeId> node_list;
-  std::map<NodeId, std::size_t> node_pos;
+  /// Ground truth of adversarial control (see the header comment).
+  NodeSet byzantine;
 
-  NodeId::value_type next_node_id = 0;
-  ClusterId::value_type next_cluster_id = 0;
+  // ------------------------------------------------------------- identities
 
-  [[nodiscard]] std::size_t num_nodes() const { return node_home.size(); }
-  [[nodiscard]] std::size_t num_clusters() const { return clusters.size(); }
+  [[nodiscard]] NodeId fresh_node_id() { return NodeId{next_node_id_++}; }
 
-  [[nodiscard]] NodeId fresh_node_id() { return NodeId{next_node_id++}; }
-  [[nodiscard]] ClusterId fresh_cluster_id() {
-    return ClusterId{next_cluster_id++};
+  // --------------------------------------------------------------- clusters
+
+  /// Creates an empty cluster with a fresh id and returns the id.
+  ClusterId create_cluster() {
+    const ClusterId id{next_cluster_id_++};
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot].emplace(id);
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back(std::in_place, id);
+      live_pos_.push_back(0);
+      if (sizes_.size() < slots_.size()) {
+        sizes_.resize(std::max<std::size_t>(16, 2 * slots_.size()));
+      }
+    }
+    cluster_slot_.set(id.value(), slot);
+    live_pos_[slot] = static_cast<std::uint32_t>(live_ids_.size());
+    live_ids_.push_back(id);
+    return id;
+  }
+
+  /// Removes an (empty) cluster. The members must have been moved out or
+  /// removed first — destroying a populated cluster would silently strand
+  /// node_home entries.
+  void destroy_cluster(ClusterId id) {
+    const std::uint32_t slot = slot_of(id);
+    assert(slots_[slot]->size() == 0 && "destroying a populated cluster");
+    const std::uint32_t at = live_pos_[slot];
+    const ClusterId moved = live_ids_.back();
+    live_ids_[at] = moved;
+    live_pos_[slot_of(moved)] = at;
+    live_ids_.pop_back();
+    slots_[slot].reset();
+    cluster_slot_.unset(id.value());
+    free_slots_.push_back(slot);
+  }
+
+  [[nodiscard]] bool has_cluster(ClusterId id) const {
+    return cluster_slot_.get(id.value()) != kNoSlot;
   }
 
   [[nodiscard]] const cluster::Cluster& cluster_at(ClusterId id) const {
-    return clusters.at(id);
-  }
-  [[nodiscard]] cluster::Cluster& cluster_at(ClusterId id) {
-    return clusters.at(id);
+    return *slots_[slot_of(id)];
   }
 
-  [[nodiscard]] ClusterId home_of(NodeId node) const {
-    return node_home.at(node);
+  /// Live cluster ids, densely packed. Deterministic but unspecified order
+  /// (ids move on destroy); do not assume id order.
+  [[nodiscard]] std::span<const ClusterId> cluster_ids() const {
+    return live_ids_;
   }
 
-  /// Uniformly random cluster (used for join contact points; any cluster of
-  /// the overlay may be contacted).
-  [[nodiscard]] ClusterId random_cluster_uniform(Rng& rng) const {
-    assert(!clusters.empty());
-    auto it = clusters.begin();
-    std::advance(it,
-                 static_cast<std::ptrdiff_t>(rng.uniform(clusters.size())));
-    return it->first;
+  [[nodiscard]] std::size_t num_clusters() const { return live_ids_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return placed_count_; }
+
+  // ------------------------------------------------------------- membership
+
+  /// Adds `node` to cluster `c` and records the home mapping.
+  void add_member(ClusterId c, NodeId node) {
+    const std::uint32_t slot = slot_of(c);
+    slots_[slot]->add_member(node);
+    node_home_.set(node.value(), c);
+    sizes_.add(slot, 1);
+    ++placed_count_;
   }
 
-  /// Cluster drawn with probability |C| / n — the biased CTRW's limit law.
-  [[nodiscard]] ClusterId random_cluster_size_biased(Rng& rng) const {
-    assert(num_nodes() > 0);
-    std::uint64_t target = rng.uniform(num_nodes());
-    for (const auto& [id, c] : clusters) {
-      const auto size = static_cast<std::uint64_t>(c.size());
-      if (target < size) return id;
-      target -= size;
-    }
-    assert(false && "cluster sizes inconsistent with node count");
-    return clusters.begin()->first;
+  /// Removes `node` from cluster `c` and clears the home mapping.
+  void remove_member(ClusterId c, NodeId node) {
+    const std::uint32_t slot = slot_of(c);
+    slots_[slot]->remove_member(node);
+    node_home_.unset(node.value());
+    sizes_.subtract(slot, 1);
+    assert(placed_count_ > 0);
+    --placed_count_;
   }
 
   /// Moves a node between clusters, keeping node_home consistent.
   void move_node(NodeId node, ClusterId from, ClusterId to) {
     assert(home_of(node) == from);
-    cluster_at(from).remove_member(node);
-    cluster_at(to).add_member(node);
-    node_home[node] = to;
+    const std::uint32_t from_slot = slot_of(from);
+    const std::uint32_t to_slot = slot_of(to);
+    slots_[from_slot]->remove_member(node);
+    slots_[to_slot]->add_member(node);
+    node_home_.set(node.value(), to);
+    sizes_.subtract(from_slot, 1);
+    sizes_.add(to_slot, 1);
+  }
+
+  /// Home cluster of `node`, or ClusterId::invalid() when the node is not
+  /// currently placed in any cluster.
+  [[nodiscard]] ClusterId home_of(NodeId node) const {
+    return node_home_.get(node.value());
+  }
+
+  [[nodiscard]] bool is_placed(NodeId node) const {
+    return home_of(node).valid();
+  }
+
+  /// Deliberately mis-points a node's home entry without touching cluster
+  /// membership — invariant tests use this to fabricate broken bookkeeping.
+  void corrupt_home_for_test(NodeId node, ClusterId wrong) {
+    node_home_.set(node.value(), wrong);
+  }
+
+  // ------------------------------------------------------ live-node registry
+
+  /// Adds a node to the sampling index (on join / initialization).
+  void register_node(NodeId node) {
+    const bool inserted = live_.insert(node);
+    assert(inserted && "node already registered");
+    (void)inserted;
+  }
+
+  /// Removes a node from the sampling index (on leave).
+  void unregister_node(NodeId node) {
+    const bool erased = live_.erase(node);
+    assert(erased && "node was not registered");
+    (void)erased;
+  }
+
+  /// Live nodes, densely packed (swap-and-pop order, not id order).
+  [[nodiscard]] std::span<const NodeId> live_nodes() const {
+    return live_.items();
+  }
+
+  /// Uniformly random live node.
+  [[nodiscard]] NodeId random_node(Rng& rng) const {
+    assert(!live_.empty());
+    return live_.at_index(rng.uniform(live_.size()));
+  }
+
+  /// Uniformly random *honest* live node (rejection sampling; cheap while
+  /// the honest fraction is bounded away from zero).
+  [[nodiscard]] NodeId random_honest_node(Rng& rng) const {
+    assert(live_.size() > byzantine.size());
+    while (true) {
+      const NodeId candidate = random_node(rng);
+      if (!byzantine.contains(candidate)) return candidate;
+    }
+  }
+
+  // ----------------------------------------------------------- sampling laws
+
+  /// Uniformly random cluster (used for join contact points; any cluster of
+  /// the overlay may be contacted). O(1).
+  [[nodiscard]] ClusterId random_cluster_uniform(Rng& rng) const {
+    assert(!live_ids_.empty());
+    return live_ids_[rng.uniform(live_ids_.size())];
+  }
+
+  /// Cluster drawn with probability |C| / n — the biased CTRW's limit law.
+  /// O(log k) via the Fenwick size mirror.
+  [[nodiscard]] ClusterId random_cluster_size_biased(Rng& rng) const {
+    assert(num_nodes() > 0 && sizes_.total() == num_nodes());
+    const std::size_t slot = sizes_.find(rng.uniform(sizes_.total()));
+    return slots_[slot]->id();
   }
 
   /// Total number of nodes that are Byzantine.
@@ -93,39 +223,33 @@ struct NowState {
     return byzantine.size();
   }
 
-  /// Adds a node to the sampling index (on join / initialization).
-  void register_node(NodeId node) {
-    node_pos[node] = node_list.size();
-    node_list.push_back(node);
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::uint32_t slot_of(ClusterId id) const {
+    const std::uint32_t slot = cluster_slot_.get(id.value());
+    // Keep the old ordered-map contract (at() threw) rather than turning a
+    // stale id into an out-of-bounds slot read in release builds.
+    if (slot == kNoSlot) throw std::out_of_range("cluster does not exist");
+    return slot;
   }
 
-  /// Removes a node from the sampling index (on leave).
-  void unregister_node(NodeId node) {
-    const auto it = node_pos.find(node);
-    assert(it != node_pos.end());
-    const std::size_t pos = it->second;
-    const NodeId last = node_list.back();
-    node_list[pos] = last;
-    node_pos[last] = pos;
-    node_list.pop_back();
-    node_pos.erase(it);
-  }
+  NodeId::value_type next_node_id_ = 0;
+  ClusterId::value_type next_cluster_id_ = 0;
 
-  /// Uniformly random live node.
-  [[nodiscard]] NodeId random_node(Rng& rng) const {
-    assert(!node_list.empty());
-    return node_list[rng.uniform(node_list.size())];
-  }
+  // Slot table for clusters; sizes_ mirrors each slot's |C| for the biased
+  // draw. slots_ and live_pos_ are parallel (sizes_ over-allocates).
+  std::vector<std::optional<cluster::Cluster>> slots_;
+  std::vector<std::uint32_t> live_pos_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<ClusterId> live_ids_;
+  PagedIndex<std::uint32_t> cluster_slot_;
+  FenwickTree sizes_;
 
-  /// Uniformly random *honest* live node (rejection sampling; cheap while
-  /// the honest fraction is bounded away from zero).
-  [[nodiscard]] NodeId random_honest_node(Rng& rng) const {
-    assert(node_list.size() > byzantine.size());
-    while (true) {
-      const NodeId candidate = random_node(rng);
-      if (!byzantine.contains(candidate)) return candidate;
-    }
-  }
+  PagedIndex<ClusterId> node_home_;
+  std::size_t placed_count_ = 0;
+
+  NodeSet live_;
 };
 
 }  // namespace now::core

@@ -26,16 +26,25 @@ bool sorted_erase(std::vector<Vertex>& vec, Vertex value) {
 }  // namespace
 
 bool Graph::add_vertex(Vertex v) {
-  return adjacency_.emplace(v, std::vector<Vertex>{}).second;
+  const auto [it, inserted] = adjacency_.try_emplace(v);
+  if (!inserted) return false;
+  it->second.list_pos = vertex_list_.size();
+  vertex_list_.push_back(v);
+  return true;
 }
 
 bool Graph::remove_vertex(Vertex v) {
   const auto it = adjacency_.find(v);
   if (it == adjacency_.end()) return false;
-  for (const Vertex u : it->second) {
-    sorted_erase(adjacency_.at(u), v);
+  for (const Vertex u : it->second.neighbors) {
+    sorted_erase(adjacency_.at(u).neighbors, v);
     --num_edges_;
   }
+  const std::size_t pos = it->second.list_pos;
+  const Vertex last = vertex_list_.back();
+  vertex_list_[pos] = last;
+  adjacency_.at(last).list_pos = pos;
+  vertex_list_.pop_back();
   adjacency_.erase(it);
   return true;
 }
@@ -46,8 +55,8 @@ bool Graph::add_edge(Vertex u, Vertex v) {
   auto v_it = adjacency_.find(v);
   assert(u_it != adjacency_.end() && v_it != adjacency_.end() &&
          "both endpoints must exist");
-  if (!sorted_insert(u_it->second, v)) return false;
-  sorted_insert(v_it->second, u);
+  if (!sorted_insert(u_it->second.neighbors, v)) return false;
+  sorted_insert(v_it->second.neighbors, u);
   ++num_edges_;
   return true;
 }
@@ -56,8 +65,8 @@ bool Graph::remove_edge(Vertex u, Vertex v) {
   auto u_it = adjacency_.find(u);
   auto v_it = adjacency_.find(v);
   if (u_it == adjacency_.end() || v_it == adjacency_.end()) return false;
-  if (!sorted_erase(u_it->second, v)) return false;
-  sorted_erase(v_it->second, u);
+  if (!sorted_erase(u_it->second.neighbors, v)) return false;
+  sorted_erase(v_it->second.neighbors, u);
   --num_edges_;
   return true;
 }
@@ -67,46 +76,50 @@ bool Graph::has_vertex(Vertex v) const { return adjacency_.contains(v); }
 bool Graph::has_edge(Vertex u, Vertex v) const {
   const auto it = adjacency_.find(u);
   if (it == adjacency_.end()) return false;
-  return std::binary_search(it->second.begin(), it->second.end(), v);
+  return std::binary_search(it->second.neighbors.begin(),
+                            it->second.neighbors.end(), v);
 }
 
-std::size_t Graph::degree(Vertex v) const { return adjacency_.at(v).size(); }
+std::size_t Graph::degree(Vertex v) const {
+  return adjacency_.at(v).neighbors.size();
+}
 
 std::size_t Graph::max_degree() const {
   std::size_t best = 0;
-  for (const auto& [v, nbrs] : adjacency_) best = std::max(best, nbrs.size());
+  for (const auto& [v, entry] : adjacency_) {
+    best = std::max(best, entry.neighbors.size());
+  }
   return best;
 }
 
 std::size_t Graph::min_degree() const {
   if (adjacency_.empty()) return 0;
-  std::size_t best = adjacency_.begin()->second.size();
-  for (const auto& [v, nbrs] : adjacency_) best = std::min(best, nbrs.size());
+  std::size_t best = adjacency_.begin()->second.neighbors.size();
+  for (const auto& [v, entry] : adjacency_) {
+    best = std::min(best, entry.neighbors.size());
+  }
   return best;
 }
 
 const std::vector<Vertex>& Graph::neighbors(Vertex v) const {
-  return adjacency_.at(v);
+  return adjacency_.at(v).neighbors;
 }
 
 std::vector<Vertex> Graph::vertices() const {
-  std::vector<Vertex> result;
-  result.reserve(adjacency_.size());
-  for (const auto& [v, nbrs] : adjacency_) result.push_back(v);
+  std::vector<Vertex> result = vertex_list_;
+  std::sort(result.begin(), result.end());
   return result;
 }
 
 Vertex Graph::random_neighbor(Vertex v, Rng& rng) const {
-  const auto& nbrs = adjacency_.at(v);
+  const auto& nbrs = adjacency_.at(v).neighbors;
   assert(!nbrs.empty());
   return nbrs[rng.uniform(nbrs.size())];
 }
 
 Vertex Graph::random_vertex(Rng& rng) const {
-  assert(!adjacency_.empty());
-  auto it = adjacency_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(adjacency_.size())));
-  return it->first;
+  assert(!vertex_list_.empty());
+  return vertex_list_[rng.uniform(vertex_list_.size())];
 }
 
 }  // namespace now::graph

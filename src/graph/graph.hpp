@@ -2,13 +2,15 @@
 //
 // Vertices are stable 64-bit keys (the NOW layer uses ClusterId values), so
 // vertex additions/removals never invalidate other vertices. Determinism
-// matters (whole experiments replay from one seed), so adjacency is kept in
-// ordered containers and iteration order is well defined.
+// matters (whole experiments replay from one seed), so neighbor lists are
+// kept sorted and vertices() reports ascending key order; vertex lookup is
+// O(1) via hashing (every walk hop reads degree + neighbors, so the ordered
+// map this replaces put an O(log V) factor under the protocol's hot path),
+// and random_vertex is O(1) over a dense swap-and-pop vertex list.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -17,7 +19,7 @@ namespace now::graph {
 
 using Vertex = std::uint64_t;
 
-/// Undirected simple graph with O(log V) vertex lookup and O(deg) edge ops.
+/// Undirected simple graph with O(1) vertex lookup and O(deg) edge ops.
 class Graph {
  public:
   /// Adds an isolated vertex. Returns false if it already exists.
@@ -53,12 +55,17 @@ class Graph {
   /// Uniformly random neighbor of v. Requires degree(v) > 0.
   [[nodiscard]] Vertex random_neighbor(Vertex v, Rng& rng) const;
 
-  /// Uniformly random vertex. Requires the graph to be non-empty.
-  /// O(V) — used only by tests and small-graph analysis.
+  /// Uniformly random vertex. Requires the graph to be non-empty. O(1).
   [[nodiscard]] Vertex random_vertex(Rng& rng) const;
 
  private:
-  std::map<Vertex, std::vector<Vertex>> adjacency_;
+  struct VertexEntry {
+    std::vector<Vertex> neighbors;  // sorted
+    std::size_t list_pos = 0;       // position in vertex_list_
+  };
+
+  std::unordered_map<Vertex, VertexEntry> adjacency_;
+  std::vector<Vertex> vertex_list_;  // dense, swap-and-pop order
   std::size_t num_edges_ = 0;
 };
 

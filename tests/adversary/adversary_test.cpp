@@ -90,7 +90,7 @@ TEST(JoinLeaveTest, TargetIsALiveCluster) {
   Rng rng{8};
   for (std::size_t t = 1; t <= 60; ++t) {
     adv.step(system, t, rng);
-    ASSERT_TRUE(system.state().clusters.contains(adv.target()));
+    ASSERT_TRUE(system.state().has_cluster(adv.target()));
   }
 }
 

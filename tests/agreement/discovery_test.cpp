@@ -54,7 +54,7 @@ TEST(DiscoveryTest, SilentByzantineCannotBlockConnectedHonest) {
   auto topo = path_topology(9);
   topo.add_vertex(9);
   topo.add_edge(9, 0);
-  const std::set<NodeId> byz{NodeId{9}};
+  const NodeSet byz{NodeId{9}};
   const auto result = run_discovery(topo, byz, metrics);
   EXPECT_TRUE(result.complete);
   // Honest still learn the Byzantine node's id (it is someone's neighbor).

@@ -80,9 +80,9 @@ TEST_P(PhaseKingAdversarialTest, AgreementAndValidityUnderMaxFaults) {
     // Corrupt the *last* f members (kings are taken in id order, so the
     // first phases have honest kings; also try corrupting the first f, so
     // the early kings are Byzantine).
-    std::set<NodeId> byz_front(members.begin(),
+    NodeSet byz_front(members.begin(),
                                members.begin() + static_cast<long>(f));
-    std::set<NodeId> byz_back(members.end() - static_cast<long>(f),
+    NodeSet byz_back(members.end() - static_cast<long>(f),
                               members.end());
     for (const auto& byzantine : {byz_front, byz_back}) {
       // Validity: all honest share input 1 -> decision must be 1 whatever

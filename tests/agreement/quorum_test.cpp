@@ -1,5 +1,7 @@
 #include "agreement/quorum.hpp"
 
+#include "common/node_set.hpp"
+
 #include <algorithm>
 #include <set>
 
@@ -22,7 +24,7 @@ TEST(QuorumTest, CommitteeHasRequestedSizeAndIsSorted) {
   EXPECT_EQ(result.committee.size(), 12u);
   EXPECT_TRUE(std::is_sorted(result.committee.begin(),
                              result.committee.end()));
-  const std::set<NodeId> unique(result.committee.begin(),
+  const NodeSet unique(result.committee.begin(),
                                 result.committee.end());
   EXPECT_EQ(unique.size(), 12u);
   for (const NodeId id : result.committee) {
@@ -75,7 +77,7 @@ TEST(QuorumTest, HonestMajorityWithHighProbability) {
   Rng rng{4};
   const std::size_t n = 1000;
   const auto nodes = make_nodes(n);
-  std::set<NodeId> byz;
+  NodeSet byz;
   for (std::size_t i = 0; i < 150; ++i) byz.insert(nodes[i * 6]);
 
   constexpr int kTrials = 2000;
@@ -83,7 +85,7 @@ TEST(QuorumTest, HonestMajorityWithHighProbability) {
   for (int t = 0; t < kTrials; ++t) {
     const auto result = build_representative_quorum(nodes, 33, metrics, rng);
     std::size_t b = 0;
-    for (const NodeId id : result.committee) b += byz.contains(id) ? 1 : 0;
+    for (const NodeId id : result.committee) b += byz.contains(id) ? 1u : 0u;
     if (3 * b >= result.committee.size()) ++bad;
   }
   EXPECT_LT(static_cast<double>(bad) / kTrials, 0.05);

@@ -22,7 +22,7 @@ TEST(BroadcastTest, ReachesEveryClusterWithHonestMajorities) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 1};
   system.initialize(500, 75);
-  const NodeId source = system.state().node_home.begin()->first;
+  const NodeId source = system.state().live_nodes().front();
   const auto report = broadcast(system, source, 42);
   EXPECT_TRUE(report.delivered_everywhere);
   EXPECT_EQ(report.clusters_reached, system.num_clusters());
@@ -34,7 +34,7 @@ TEST(BroadcastTest, CheaperThanNaiveAtModerateScale) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 2};
   system.initialize(1000, 0, core::InitTopology::kModeledSparse);
-  const NodeId source = system.state().node_home.begin()->first;
+  const NodeId source = system.state().live_nodes().front();
   const auto report = broadcast(system, source, 7);
   const auto naive = naive_broadcast_cost(system.num_nodes());
   EXPECT_LT(report.cost.messages, naive.messages);
@@ -49,10 +49,10 @@ TEST(BroadcastTest, CompromisedRelayClusterIsContained) {
   system.initialize(500, 0);
   auto& state = const_cast<core::NowState&>(system.state());
   // Pick a non-source cluster and corrupt all its members.
-  const auto source_node = state.node_home.begin()->first;
+  const auto source_node = state.live_nodes().front();
   const ClusterId source_cluster = state.home_of(source_node);
   ClusterId victim = ClusterId::invalid();
-  for (const auto& [id, c] : state.clusters) {
+  for (const ClusterId id : state.cluster_ids()) {
     if (id != source_cluster) {
       victim = id;
       break;
@@ -70,7 +70,7 @@ TEST(SamplingTest, SamplesAreUniformOverNodes) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 4};
   system.initialize(300, 45);
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
 
   constexpr int kTrials = 6000;
   std::map<NodeId, std::uint64_t> counts;
@@ -82,7 +82,7 @@ TEST(SamplingTest, SamplesAreUniformOverNodes) {
   // Chi-square against uniform over all 300 nodes.
   std::vector<std::uint64_t> observed;
   std::vector<double> probs;
-  for (const auto& [id, home] : system.state().node_home) {
+  for (const NodeId id : system.state().live_nodes()) {
     observed.push_back(counts[id]);
     probs.push_back(1.0 / static_cast<double>(system.num_nodes()));
   }
@@ -94,7 +94,7 @@ TEST(SamplingTest, CostIsPolylogSized) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 5};
   system.initialize(800, 0);
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   const auto s = sample_node(system, start);
   // Polylog budget: generous ceiling far below n^2 (= 640k at n=800).
   EXPECT_LT(s.cost.messages, 400000u);
@@ -105,11 +105,11 @@ TEST(AggregationTest, ComputesExactSumWithHonestNodes) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 6};
   system.initialize(400, 0);
-  const NodeId root = system.state().node_home.begin()->first;
+  const NodeId root = system.state().live_nodes().front();
   const auto report = aggregate_sum(
       system, root, [](NodeId id) { return id.value(); });
   std::uint64_t expected = 0;
-  for (const auto& [id, home] : system.state().node_home)
+  for (const NodeId id : system.state().live_nodes())
     expected += id.value();
   EXPECT_EQ(report.total, expected);
   EXPECT_TRUE(report.complete);
@@ -119,7 +119,7 @@ TEST(AggregationTest, ByzantineValuesOnlyShiftTheirOwnTerms) {
   Metrics metrics;
   core::NowSystem system{app_params(), metrics, 7};
   system.initialize(400, 60);
-  const NodeId root = system.state().node_home.begin()->first;
+  const NodeId root = system.state().live_nodes().front();
   const auto report = aggregate_sum(
       system, root, [](NodeId) { return std::uint64_t{1}; },
       /*byzantine_value=*/0);
@@ -145,7 +145,7 @@ TEST(AgreementServiceTest, MinoritySideLoses) {
   // Honest split 70/30 toward false; Byzantine all vote true.
   Rng rng{10};
   std::map<NodeId, bool> votes;
-  for (const auto& [id, home] : system.state().node_home) {
+  for (const NodeId id : system.state().live_nodes()) {
     votes[id] = rng.bernoulli(0.3);
   }
   const auto report = decide_majority(

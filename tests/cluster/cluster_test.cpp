@@ -40,7 +40,7 @@ TEST(ClusterTest, RandomMemberIsAMember) {
 TEST(ClusterTest, ByzantineCounting) {
   Cluster c{ClusterId{4}};
   for (std::uint64_t v = 0; v < 9; ++v) c.add_member(NodeId{v});
-  std::set<NodeId> byz{NodeId{0}, NodeId{4}, NodeId{8}, NodeId{100}};
+  NodeSet byz{NodeId{0}, NodeId{4}, NodeId{8}, NodeId{100}};
   EXPECT_EQ(byzantine_count(c, byz), 3u);  // 100 is not a member
   EXPECT_DOUBLE_EQ(byzantine_fraction(c, byz), 1.0 / 3.0);
 }

@@ -21,7 +21,7 @@ TEST(InterclusterTest, HonestMajorityIsAccepted) {
   Metrics metrics;
   const auto from = make_cluster(ClusterId{1}, 0, 9);
   const auto to = make_cluster(ClusterId{2}, 100, 9);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{1}, NodeId{2}};  // 3 of 9
+  const NodeSet byz{NodeId{0}, NodeId{1}, NodeId{2}};  // 3 of 9
   const auto outcome = cluster_send(from, to, 2, byz, metrics);
   EXPECT_TRUE(outcome.accepted);
   EXPECT_FALSE(outcome.forgeable);
@@ -34,7 +34,7 @@ TEST(InterclusterTest, MinorityHonestIsRejected) {
   Metrics metrics;
   const auto from = make_cluster(ClusterId{1}, 0, 8);
   const auto to = make_cluster(ClusterId{2}, 100, 8);
-  std::set<NodeId> byz;
+  NodeSet byz;
   for (std::uint64_t i = 0; i < 4; ++i) byz.insert(NodeId{i});  // half
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
   // "at least half plus one" -> 4 honest of 8 is NOT enough.
@@ -46,7 +46,7 @@ TEST(InterclusterTest, ByzantineMajorityCanForge) {
   Metrics metrics;
   const auto from = make_cluster(ClusterId{1}, 0, 7);
   const auto to = make_cluster(ClusterId{2}, 100, 7);
-  std::set<NodeId> byz;
+  NodeSet byz;
   for (std::uint64_t i = 0; i < 5; ++i) byz.insert(NodeId{i});
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
   EXPECT_FALSE(outcome.accepted);
@@ -58,7 +58,7 @@ TEST(InterclusterTest, ExactTwoThirdsHonestStillAccepted) {
   Metrics metrics;
   const auto from = make_cluster(ClusterId{1}, 0, 9);
   const auto to = make_cluster(ClusterId{2}, 100, 5);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{1}};  // 2 of 9 byz
+  const NodeSet byz{NodeId{0}, NodeId{1}};  // 2 of 9 byz
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
   EXPECT_TRUE(outcome.accepted);
 }

@@ -73,7 +73,7 @@ TEST(RandNumTest, BiasedContributionsCannotSkewOutput) {
   Metrics metrics;
   Rng rng{5};
   const auto members = make_members(9);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{1}};
+  const NodeSet byz{NodeId{0}, NodeId{1}};
   constexpr std::uint64_t kRange = 8;
   constexpr int kTrials = 16000;
   std::vector<std::uint64_t> counts(kRange, 0);
@@ -92,7 +92,7 @@ TEST(RandNumTest, SilentByzantineStillAgreesAndUniform) {
   Metrics metrics;
   Rng rng{6};
   const auto members = make_members(10);
-  const std::set<NodeId> byz{NodeId{2}, NodeId{5}, NodeId{7}};
+  const NodeSet byz{NodeId{2}, NodeId{5}, NodeId{7}};
   constexpr std::uint64_t kRange = 4;
   std::vector<std::uint64_t> counts(kRange, 0);
   for (int i = 0; i < 12000; ++i) {
@@ -112,7 +112,7 @@ TEST(RandNumTest, SelectiveRevealDivergesFastModeSometimes) {
   Metrics metrics;
   Rng rng{7};
   const auto members = make_members(9);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{4}};
+  const NodeSet byz{NodeId{0}, NodeId{4}};
   int divergences = 0;
   for (int i = 0; i < 300; ++i) {
     const auto result =
@@ -127,7 +127,7 @@ TEST(RandNumTest, SelectiveRevealNeverDivergesRobustMode) {
   Metrics metrics;
   Rng rng{8};
   const auto members = make_members(9);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{4}};
+  const NodeSet byz{NodeId{0}, NodeId{4}};
   for (int i = 0; i < 300; ++i) {
     const auto result =
         run_rand_num(members, byz, 1000, RandNumMode::kRobust,

@@ -1,0 +1,71 @@
+#include "common/fenwick.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(FenwickTest, PrefixSumsMatchNaive) {
+  FenwickTree tree;
+  tree.resize(10);
+  const std::vector<std::uint64_t> values = {3, 0, 7, 1, 0, 4, 2, 9, 0, 5};
+  for (std::size_t i = 0; i < values.size(); ++i) tree.add(i, values[i]);
+
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= values.size(); ++i) {
+    EXPECT_EQ(tree.prefix_sum(i), running) << "prefix " << i;
+    if (i < values.size()) running += values[i];
+  }
+  EXPECT_EQ(tree.total(),
+            std::accumulate(values.begin(), values.end(), std::uint64_t{0}));
+}
+
+TEST(FenwickTest, FindInvertsPrefixSums) {
+  FenwickTree tree;
+  tree.resize(6);
+  const std::vector<std::uint64_t> values = {2, 0, 5, 1, 0, 3};
+  for (std::size_t i = 0; i < values.size(); ++i) tree.add(i, values[i]);
+
+  // Every target in [0, total) must land in the slot covering it; zero-size
+  // slots are never returned.
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::uint64_t j = 0; j < values[i]; ++j) expected.push_back(i);
+  }
+  ASSERT_EQ(expected.size(), tree.total());
+  for (std::uint64_t target = 0; target < tree.total(); ++target) {
+    EXPECT_EQ(tree.find(target), expected[target]) << "target " << target;
+  }
+}
+
+TEST(FenwickTest, SubtractAndReuse) {
+  FenwickTree tree;
+  tree.resize(4);
+  tree.add(0, 10);
+  tree.add(2, 4);
+  tree.subtract(0, 10);
+  EXPECT_EQ(tree.total(), 4u);
+  EXPECT_EQ(tree.value_at(0), 0u);
+  for (std::uint64_t t = 0; t < 4; ++t) EXPECT_EQ(tree.find(t), 2u);
+  tree.add(0, 1);
+  EXPECT_EQ(tree.find(0), 0u);
+}
+
+TEST(FenwickTest, ResizePreservesValues) {
+  FenwickTree tree;
+  tree.resize(3);
+  tree.add(0, 5);
+  tree.add(2, 2);
+  tree.resize(50);
+  EXPECT_EQ(tree.total(), 7u);
+  EXPECT_EQ(tree.prefix_sum(3), 7u);
+  tree.add(40, 1);
+  EXPECT_EQ(tree.total(), 8u);
+  EXPECT_EQ(tree.find(7), 40u);
+}
+
+}  // namespace
+}  // namespace now

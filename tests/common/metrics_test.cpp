@@ -82,6 +82,68 @@ TEST(MetricsTest, ResetClearsEverything) {
   EXPECT_EQ(m.operation_count("x"), 0u);
 }
 
+TEST(MetricsInternTest, SameLabelAlwaysGetsSameId) {
+  Metrics m;
+  const OperationId join = m.intern("join");
+  const OperationId leave = m.intern("leave");
+  EXPECT_NE(join, leave);
+  EXPECT_EQ(m.intern("join"), join);
+  EXPECT_EQ(m.intern(std::string("join")), join);  // no literal aliasing
+  m.reset();
+  EXPECT_EQ(m.intern("join"), join);  // ids survive reset
+}
+
+TEST(MetricsInternTest, DeeplyNestedScopesAttributeToEveryAncestor) {
+  // The join -> exchange -> randCl nesting of the real protocol, with the
+  // same label re-entered at two different depths (rejoin inside merge).
+  Metrics m;
+  {
+    OpScope join(m, "join");
+    m.add_messages(1);
+    {
+      OpScope exchange(m, "exchange");
+      m.add_messages(10);
+      {
+        OpScope randcl(m, "randcl");
+        m.add_messages(100);
+        m.add_rounds(2);
+      }
+      {
+        OpScope randcl(m, "randcl");
+        m.add_messages(100);
+      }
+      EXPECT_EQ(exchange.cost().messages, 210u);
+    }
+    EXPECT_EQ(join.cost().messages, 211u);
+  }
+  EXPECT_EQ(m.operation_count("randcl"), 2u);
+  EXPECT_EQ(m.operation_total("randcl").messages, 200u);
+  EXPECT_EQ(m.operation_total("exchange").messages, 210u);
+  EXPECT_EQ(m.operation_total("join").messages, 211u);
+  EXPECT_EQ(m.operation_total("join").rounds, 2u);
+  EXPECT_EQ(m.total().messages, 211u);  // global total counted once
+
+  // Same label nested inside a *different* operation accumulates into the
+  // same interned bucket.
+  {
+    OpScope merge(m, "merge");
+    OpScope rejoin(m, "join");
+    m.add_messages(5);
+  }
+  EXPECT_EQ(m.operation_count("join"), 2u);
+  EXPECT_EQ(m.operation_total("join").messages, 216u);
+  EXPECT_EQ(m.operation_total("merge").messages, 5u);
+}
+
+TEST(MetricsInternTest, LabelsReflectOnlyCompletedOperations) {
+  Metrics m;
+  m.intern("never-run");  // interned but never completed
+  { OpScope s(m, "ran"); }
+  const auto labels = m.labels();
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], "ran");
+}
+
 TEST(CostTest, Arithmetic) {
   const Cost a{3, 1};
   const Cost b{4, 2};

@@ -30,7 +30,7 @@ TEST(InvariantsTest, DetectsCompromisedCluster) {
   system.initialize(400, 0);
   // Corrupt 1/3 of one cluster's members by fiat.
   auto& state = const_cast<NowState&>(system.state());
-  const auto& first = state.clusters.begin()->second;
+  const auto& first = state.cluster_at(state.cluster_ids().front());
   const std::size_t third = first.size() / 3 + 1;
   for (std::size_t i = 0; i < third; ++i) {
     state.byzantine.insert(first.member_at(i));
@@ -47,11 +47,11 @@ TEST(InvariantsTest, DetectsBrokenBookkeeping) {
   system.initialize(400, 0);
   auto& state = const_cast<NowState&>(system.state());
   // Point one node's home at the wrong cluster.
-  auto it = state.node_home.begin();
-  const ClusterId wrong{state.clusters.rbegin()->first};
-  const ClusterId right = it->second;
+  const NodeId node = state.live_nodes().front();
+  const ClusterId wrong = state.cluster_ids().back();
+  const ClusterId right = state.home_of(node);
   if (wrong != right) {
-    it->second = wrong;
+    state.corrupt_home_for_test(node, wrong);
     const auto report = check_invariants(state, system.params());
     EXPECT_FALSE(report.ok);
   }
@@ -63,11 +63,10 @@ TEST(InvariantsTest, DetectsUndersizedCluster) {
   system.initialize(400, 0);
   auto& state = const_cast<NowState&>(system.state());
   // Shrink one cluster below the merge threshold by ripping members out.
-  auto& [cid, victim] = *state.clusters.begin();
-  while (victim.size() >= system.params().merge_threshold()) {
-    const NodeId m = victim.member_at(0);
-    victim.remove_member(m);
-    state.node_home.erase(m);
+  const ClusterId cid = state.cluster_ids().front();
+  while (state.cluster_at(cid).size() >= system.params().merge_threshold()) {
+    const NodeId m = state.cluster_at(cid).member_at(0);
+    state.remove_member(cid, m);
     state.unregister_node(m);
   }
   const auto report = check_invariants(state, system.params());
@@ -79,11 +78,10 @@ TEST(InvariantsTest, SizeChecksCanBeDisabled) {
   NowSystem system{small_params(), metrics, 5};
   system.initialize(400, 0);
   auto& state = const_cast<NowState&>(system.state());
-  auto& [cid, victim] = *state.clusters.begin();
-  while (victim.size() >= system.params().merge_threshold()) {
-    const NodeId m = victim.member_at(0);
-    victim.remove_member(m);
-    state.node_home.erase(m);
+  const ClusterId cid = state.cluster_ids().front();
+  while (state.cluster_at(cid).size() >= system.params().merge_threshold()) {
+    const NodeId m = state.cluster_at(cid).member_at(0);
+    state.remove_member(cid, m);
     state.unregister_node(m);
   }
   const auto report =

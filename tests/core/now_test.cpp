@@ -1,5 +1,6 @@
 #include "core/now.hpp"
 
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -58,7 +59,7 @@ TEST(NowJoinTest, JoinAddsExactlyOneNode) {
   const std::size_t before = system.num_nodes();
   const auto [node, report] = system.join(false);
   EXPECT_EQ(system.num_nodes(), before + 1);
-  EXPECT_TRUE(system.state().node_home.contains(node));
+  EXPECT_TRUE(system.state().is_placed(node));
   EXPECT_GT(report.cost.messages, 0u);
   EXPECT_GT(report.cost.rounds, 0u);
   const auto inv = system.check();
@@ -83,7 +84,7 @@ TEST(NowLeaveTest, LeaveRemovesExactlyOneNode) {
   const std::size_t before = system.num_nodes();
   const auto report = system.leave(victim);
   EXPECT_EQ(system.num_nodes(), before - 1);
-  EXPECT_FALSE(system.state().node_home.contains(victim));
+  EXPECT_FALSE(system.state().is_placed(victim));
   EXPECT_GT(report.cost.messages, 0u);
   const auto inv = system.check();
   EXPECT_TRUE(inv.ok) << (inv.violations.empty() ? "" : inv.violations[0]);
@@ -221,12 +222,13 @@ TEST(NowTest, ExchangePreservesClusterSizes) {
   NowSystem system{small_params(), metrics, 14};
   system.initialize(400, 60);
   std::map<ClusterId, std::size_t> sizes_before;
-  for (const auto& [id, c] : system.state().clusters)
-    sizes_before[id] = c.size();
-  const ClusterId target = system.state().clusters.begin()->first;
+  for (const ClusterId id : system.state().cluster_ids())
+    sizes_before[id] = system.state().cluster_at(id).size();
+  const ClusterId target = system.state().cluster_ids().front();
   system.exchange_all(target);
-  for (const auto& [id, c] : system.state().clusters) {
-    EXPECT_EQ(c.size(), sizes_before.at(id)) << "cluster " << id;
+  for (const ClusterId id : system.state().cluster_ids()) {
+    EXPECT_EQ(system.state().cluster_at(id).size(), sizes_before.at(id))
+        << "cluster " << id;
   }
   EXPECT_EQ(system.num_nodes(), 400u);
 }
@@ -235,7 +237,7 @@ TEST(NowTest, ExchangeReplacesMostMembers) {
   Metrics metrics;
   NowSystem system{small_params(), metrics, 15};
   system.initialize(400, 60);
-  const ClusterId target = system.state().clusters.begin()->first;
+  const ClusterId target = system.state().cluster_ids().front();
   const auto before = system.state().cluster_at(target).members();
   system.exchange_all(target);
   const auto after = system.state().cluster_at(target).members();
@@ -253,7 +255,7 @@ TEST(NowTest, NodeIdsAreNeverReused) {
   NowSystem system{small_params(), metrics, 16};
   system.initialize(300, 0);
   std::set<NodeId> seen;
-  for (const auto& [id, home] : system.state().node_home) seen.insert(id);
+  for (const NodeId id : system.state().live_nodes()) seen.insert(id);
   Rng rng{5};
   for (int i = 0; i < 40; ++i) {
     system.leave(system.state().random_node(rng));

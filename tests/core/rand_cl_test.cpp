@@ -30,7 +30,7 @@ TEST_P(RandClLawTest, EndpointLawIsSizeBiased) {
   system.initialize(600, 90);
   ASSERT_GE(system.num_clusters(), 10u);
 
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   constexpr int kTrials = 4000;
   std::map<ClusterId, std::uint64_t> counts;
   for (int i = 0; i < kTrials; ++i) {
@@ -42,7 +42,8 @@ TEST_P(RandClLawTest, EndpointLawIsSizeBiased) {
   std::vector<std::uint64_t> observed;
   std::vector<double> probs;
   const double n = static_cast<double>(system.num_nodes());
-  for (const auto& [id, c] : system.state().clusters) {
+  for (const ClusterId id : system.state().cluster_ids()) {
+    const auto& c = system.state().cluster_at(id);
     observed.push_back(counts[id]);
     probs.push_back(static_cast<double>(c.size()) / n);
   }
@@ -59,7 +60,7 @@ TEST(RandClTest, SimulatedWalkChargesMessagesAndReportsRounds) {
   Metrics metrics;
   NowSystem system{test_params(WalkMode::kSimulate), metrics, 7};
   system.initialize(600, 0);
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   const auto before = metrics.total().messages;
   const auto result = system.rand_cl_from(start);
   EXPECT_GT(metrics.total().messages, before);
@@ -72,7 +73,7 @@ TEST(RandClTest, RestartsAreRare) {
   Metrics metrics;
   NowSystem system{test_params(WalkMode::kSimulate), metrics, 8};
   system.initialize(600, 0);
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   RunningStat restarts;
   for (int i = 0; i < 500; ++i) {
     restarts.add(static_cast<double>(system.rand_cl_from(start).restarts));
@@ -85,7 +86,7 @@ TEST(RandClTest, WalkLengthTracksLog2OfClusters) {
   NowSystem system{test_params(WalkMode::kSimulate), metrics, 9};
   system.initialize(600, 0);
   const double m = static_cast<double>(system.num_clusters());
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   RunningStat hops;
   for (int i = 0; i < 500; ++i) {
     hops.add(static_cast<double>(system.rand_cl_from(start).hops));
@@ -99,7 +100,7 @@ TEST(RandClTest, SampleExactChargesModeledCost) {
   Metrics metrics;
   NowSystem system{test_params(WalkMode::kSampleExact), metrics, 10};
   system.initialize(600, 0);
-  const ClusterId start = system.state().clusters.begin()->first;
+  const ClusterId start = system.state().cluster_ids().front();
   const auto before = metrics.total().messages;
   const auto result = system.rand_cl_from(start);
   EXPECT_EQ(metrics.total().messages - before, result.cost.messages);
@@ -113,7 +114,7 @@ TEST(RandClTest, SingleClusterSystemAlwaysReturnsIt) {
   NowSystem system{p, metrics, 11};
   system.initialize(p.cluster_size_target(), 0);  // exactly one cluster
   ASSERT_EQ(system.num_clusters(), 1u);
-  const ClusterId only = system.state().clusters.begin()->first;
+  const ClusterId only = system.state().cluster_ids().front();
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(system.rand_cl_from(only).cluster, only);
   }

@@ -35,7 +35,7 @@ TEST(GraphTest, AddRemoveEdge) {
 
 TEST(GraphTest, RemoveVertexCleansIncidentEdges) {
   Graph g;
-  for (Vertex v : {1, 2, 3, 4}) g.add_vertex(v);
+  for (Vertex v : {1u, 2u, 3u, 4u}) g.add_vertex(v);
   g.add_edge(1, 2);
   g.add_edge(1, 3);
   g.add_edge(2, 3);
@@ -48,7 +48,7 @@ TEST(GraphTest, RemoveVertexCleansIncidentEdges) {
 
 TEST(GraphTest, NeighborsAreSorted) {
   Graph g;
-  for (Vertex v : {5, 1, 9, 3}) g.add_vertex(v);
+  for (Vertex v : {5u, 1u, 9u, 3u}) g.add_vertex(v);
   g.add_edge(5, 9);
   g.add_edge(5, 1);
   g.add_edge(5, 3);
@@ -59,7 +59,7 @@ TEST(GraphTest, NeighborsAreSorted) {
 
 TEST(GraphTest, DegreeBounds) {
   Graph g;
-  for (Vertex v : {1, 2, 3}) g.add_vertex(v);
+  for (Vertex v : {1u, 2u, 3u}) g.add_vertex(v);
   g.add_edge(1, 2);
   EXPECT_EQ(g.max_degree(), 1u);
   EXPECT_EQ(g.min_degree(), 0u);  // vertex 3 isolated
@@ -70,7 +70,7 @@ TEST(GraphTest, DegreeBounds) {
 
 TEST(GraphTest, VerticesSortedAscending) {
   Graph g;
-  for (Vertex v : {42, 7, 19}) g.add_vertex(v);
+  for (Vertex v : {42u, 7u, 19u}) g.add_vertex(v);
   const auto verts = g.vertices();
   EXPECT_TRUE(std::is_sorted(verts.begin(), verts.end()));
   EXPECT_EQ(verts.size(), 3u);
@@ -78,7 +78,7 @@ TEST(GraphTest, VerticesSortedAscending) {
 
 TEST(GraphTest, RandomNeighborIsANeighbor) {
   Graph g;
-  for (Vertex v : {1, 2, 3, 4}) g.add_vertex(v);
+  for (Vertex v : {1u, 2u, 3u, 4u}) g.add_vertex(v);
   g.add_edge(1, 2);
   g.add_edge(1, 3);
   Rng rng{99};
@@ -90,7 +90,7 @@ TEST(GraphTest, RandomNeighborIsANeighbor) {
 
 TEST(GraphTest, RandomVertexCoversAll) {
   Graph g;
-  for (Vertex v : {1, 2, 3}) g.add_vertex(v);
+  for (Vertex v : {1u, 2u, 3u}) g.add_vertex(v);
   Rng rng{5};
   std::set<Vertex> seen;
   for (int i = 0; i < 200; ++i) seen.insert(g.random_vertex(rng));

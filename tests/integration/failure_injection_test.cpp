@@ -24,7 +24,7 @@ TEST(FailureInjectionTest, PhaseKingBreaksBeyondOneThird) {
   // steered).
   Metrics metrics;
   const auto members = make_members(13);
-  std::set<NodeId> byz;
+  NodeSet byz;
   for (std::size_t i = 0; i < 5; ++i) byz.insert(members[i]);  // > 13/3
 
   bool any_break = false;
@@ -51,7 +51,7 @@ TEST(FailureInjectionTest, PhaseKingSurvivesExactlyAtTheBound) {
   // f = 4, n = 13 (f < n/3): must hold against the strongest behavior.
   Metrics metrics;
   const auto members = make_members(13);
-  std::set<NodeId> byz;
+  NodeSet byz;
   for (std::size_t i = 0; i < 4; ++i) byz.insert(members[i]);
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     Rng rng{seed + 100};
@@ -70,7 +70,7 @@ TEST(FailureInjectionTest, RandNumFastModeDivergenceIsDetected) {
   Metrics metrics;
   Rng rng{1};
   const auto members = make_members(9);
-  const std::set<NodeId> byz{NodeId{0}, NodeId{1}};
+  const NodeSet byz{NodeId{0}, NodeId{1}};
   int diverged = 0;
   for (int i = 0; i < 400; ++i) {
     const auto result = cluster::run_rand_num(
@@ -88,7 +88,7 @@ TEST(FailureInjectionTest, RandNumRobustModeHandlesEveryBehaviorMatrix) {
   Rng rng{2};
   for (const std::size_t n : {4u, 7u, 10u, 13u}) {
     const auto members = make_members(n);
-    std::set<NodeId> byz;
+    NodeSet byz;
     for (std::size_t i = 0; i < (n - 1) / 3; ++i) byz.insert(members[i]);
     for (const auto behavior :
          {cluster::RandNumByz::kFollow, cluster::RandNumByz::kSilent,

@@ -52,7 +52,7 @@ TEST_P(ConfigMatrixTest, ChurnPreservesInvariants) {
   // Conservation: the node map, the partition and the index agree.
   const auto final_inv = system.check();
   EXPECT_TRUE(final_inv.ok);
-  EXPECT_EQ(system.state().node_list.size(), system.num_nodes());
+  EXPECT_EQ(system.state().live_nodes().size(), system.num_nodes());
 }
 
 INSTANTIATE_TEST_SUITE_P(
