@@ -16,7 +16,7 @@
 namespace now {
 namespace {
 
-void ablate_rand_num_mode() {
+void ablate_rand_num_mode(bench::JsonEmitter& json) {
   std::cout << "\n[1] randNum mode (fast vs robust echo):\n";
   sim::Table table({"mode", "randnum_msgs(|C|=33)", "join_mean_msgs",
                     "join_mean_rounds"});
@@ -36,11 +36,15 @@ void ablate_rand_num_mode() {
          sim::Table::fmt(cluster::rand_num_cost_model(33, mode).messages),
          sim::Table::fmt(bench::mean_messages(joins), 0),
          sim::Table::fmt(bench::mean_rounds(joins), 1)});
+    json.add(mode == cluster::RandNumMode::kFast ? "join[randnum=fast]"
+                                                 : "join[randnum=robust]",
+             1 << 14, bench::mean_messages(joins), bench::mean_rounds(joins),
+             0.0);
   }
   table.print(std::cout);
 }
 
-void ablate_merge_policy() {
+void ablate_merge_policy(bench::JsonEmitter& json) {
   std::cout << "\n[2] merge policy (Algorithm 2 dissolve vs Figure 2 "
                "absorb):\n";
   sim::Table table({"policy", "merges", "mean_merge_msgs", "peak_pC",
@@ -60,18 +64,24 @@ void ablate_merge_policy() {
     adversary::RandomChurnAdversary adv{
         config.params.tau, adversary::ChurnSchedule::ramp(800, 300)};
     const auto result = sim::run_scenario(config, adv, metrics);
+    const char* name =
+        policy == core::MergePolicy::kDissolve ? "dissolve" : "absorb";
     table.add_row(
-        {policy == core::MergePolicy::kDissolve ? "dissolve" : "absorb",
-         sim::Table::fmt(std::uint64_t{result.total_merges}),
+        {name, sim::Table::fmt(std::uint64_t{result.total_merges}),
          sim::Table::fmt(
              bench::mean_messages(metrics.operation_samples("merge")), 0),
          sim::Table::fmt(result.peak_byz_fraction, 3),
          result.ever_compromised ? "YES" : "no"});
+    json.add(std::string("merge[") + name + "]", 1 << 12,
+             bench::mean_messages(metrics.operation_samples("merge")),
+             bench::mean_rounds(metrics.operation_samples("merge")), 0.0);
+    json.add_scalar(std::string("peak_pC[merge=") + name + "]", 1 << 12,
+                    result.peak_byz_fraction);
   }
   table.print(std::cout);
 }
 
-void ablate_walk_factor() {
+void ablate_walk_factor(bench::JsonEmitter& json) {
   std::cout << "\n[3] CTRW length factor (mixing vs cost):\n";
   sim::Table table({"walk_factor", "mean_hops", "randcl_msgs", "chi2_p"});
   for (const double factor : {0.25, 0.5, 1.0, 2.0}) {
@@ -108,13 +118,17 @@ void ablate_walk_factor() {
                    sim::Table::fmt(hops.mean(), 1),
                    sim::Table::fmt(msgs.mean(), 0),
                    sim::Table::fmt(p, 4)});
+    json.add("randcl[wf=" + sim::Table::fmt(factor, 2) + "]", 1 << 12,
+             msgs.mean(), 0.0, 0.0);
+    json.add_scalar("chi2_p[wf=" + sim::Table::fmt(factor, 2) + "]", 1 << 12,
+                    p);
   }
   table.print(std::cout);
   std::cout << "(low p at small factors = under-mixed walks; the paper's "
                "O(log^2 n) length is the safe regime)\n";
 }
 
-void ablate_hysteresis() {
+void ablate_hysteresis(bench::JsonEmitter& json) {
   std::cout << "\n[4] split/merge hysteresis l:\n";
   sim::Table table({"l", "splits", "merges", "min|C|", "max|C|"});
   for (const double l : {1.2, 1.5, 2.0}) {
@@ -142,6 +156,9 @@ void ablate_hysteresis() {
                    sim::Table::fmt(std::uint64_t{result.total_merges}),
                    sim::Table::fmt(std::uint64_t{min_size}),
                    sim::Table::fmt(std::uint64_t{max_size})});
+    json.add_scalar("restructures[l=" + sim::Table::fmt(l, 1) + "]", 1 << 12,
+                    static_cast<double>(result.total_splits +
+                                        result.total_merges));
   }
   table.print(std::cout);
   std::cout << "(smaller l -> tighter sizes but more restructuring churn; "
@@ -152,10 +169,11 @@ void ablate_hysteresis() {
 void run() {
   bench::print_header("ABL (design ablations)",
                       "reconstruction knobs from DESIGN.md §5 quantified");
-  ablate_rand_num_mode();
-  ablate_merge_policy();
-  ablate_walk_factor();
-  ablate_hysteresis();
+  bench::JsonEmitter json("ablation");
+  ablate_rand_num_mode(json);
+  ablate_merge_policy(json);
+  ablate_walk_factor(json);
+  ablate_hysteresis(json);
   bench::print_verdict(true, "see tables — trade-offs only, no correctness "
                              "cliff inside the paper's parameter regime");
 }

@@ -22,6 +22,7 @@ void run() {
 
   sim::Table table({"n", "bcast_NOW", "bcast_naive", "ratio", "sample_NOW",
                     "sample_flat", "agree_NOW", "agree_flat"});
+  bench::JsonEmitter json("apps");
 
   std::vector<double> sweep_n;
   std::vector<double> bcast_costs;
@@ -66,6 +67,11 @@ void run() {
                    sim::Table::fmt(flat_agree.messages)});
     sweep_n.push_back(static_cast<double>(n));
     bcast_costs.push_back(static_cast<double>(bcast.cost.messages));
+    json.add("broadcast[now]", n, static_cast<double>(bcast.cost.messages),
+             static_cast<double>(bcast.cost.rounds), 0.0);
+    json.add("sample[now]", n, sample_cost.mean(), 0.0, 0.0);
+    json.add("agreement[now]", n, static_cast<double>(agree.cost.messages),
+             static_cast<double>(agree.cost.rounds), 0.0);
     if (n >= 1024 && bcast.cost.messages >= naive.messages) {
       crossover_ok = false;
     }

@@ -62,6 +62,7 @@ void run() {
   const std::size_t steps = 1500;
   sim::Table table({"system", "attack", "steps", "captured", "fall_step",
                     "peak_pC"});
+  bench::JsonEmitter json("attack");
   bool separation = true;
 
   for (const std::string kind : {"join-leave", "forced-leave"}) {
@@ -75,6 +76,11 @@ void run() {
                          ? sim::Table::fmt(std::uint64_t{outcome.fall_step})
                          : "-",
                      sim::Table::fmt(outcome.peak, 3)});
+      const std::string label =
+          kind + (shuffle ? "[now]" : "[no-shuffle]");
+      json.add_scalar("peak_pC[" + label + "]", steps, outcome.peak);
+      json.add_scalar("captured[" + label + "]", steps,
+                      outcome.fell ? 1.0 : 0.0);
       if (kind == "join-leave") {
         if (shuffle && outcome.fell) separation = false;
         if (!shuffle && !outcome.fell) separation = false;

@@ -21,11 +21,15 @@
 
 namespace now::bench {
 
-/// Machine-readable result sink: each bench appends (op, n, messages,
-/// rounds, wall_ns) rows and writes BENCH_<name>.json next to the binary,
-/// so the perf trajectory of every PR can be diffed mechanically instead of
-/// scraping stdout tables. wall_ns <= 0 means "not measured" and is emitted
-/// as null.
+/// Machine-readable result sink writing BENCH_<name>.json next to the
+/// binary, so the trajectory of every PR can be diffed mechanically instead
+/// of scraping stdout tables. Two row kinds (schema in EXPERIMENTS.md,
+/// "The BENCH_*.json schema"):
+///   * cost rows   — {op, n, messages, rounds, wall_ns}: protocol costs of
+///     an operation at network size n. wall_ns <= 0 means "not measured"
+///     and is emitted as null.
+///   * scalar rows — {op, n, value}: a dimensionless verdict quantity
+///     (a peak Byzantine fraction, a fitted exponent, a p-value, ...).
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
@@ -37,7 +41,12 @@ class JsonEmitter {
 
   void add(const std::string& op, std::uint64_t n, double messages,
            double rounds, double wall_ns) {
-    rows_.push_back(Row{op, n, messages, rounds, wall_ns});
+    rows_.push_back(Row{op, n, messages, rounds, wall_ns, 0.0, false});
+  }
+
+  /// A verdict scalar (dimensionless), e.g. a peak fraction or an exponent.
+  void add_scalar(const std::string& op, std::uint64_t n, double value) {
+    rows_.push_back(Row{op, n, 0.0, 0.0, 0.0, value, true});
   }
 
   /// Writes BENCH_<name>.json (idempotent; also called by the destructor).
@@ -50,13 +59,17 @@ class JsonEmitter {
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      out << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n
-          << ", \"messages\": " << r.messages << ", \"rounds\": " << r.rounds
-          << ", \"wall_ns\": ";
-      if (r.wall_ns > 0) {
-        out << r.wall_ns;
+      out << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n;
+      if (r.is_scalar) {
+        out << ", \"value\": " << r.value;
       } else {
-        out << "null";
+        out << ", \"messages\": " << r.messages
+            << ", \"rounds\": " << r.rounds << ", \"wall_ns\": ";
+        if (r.wall_ns > 0) {
+          out << r.wall_ns;
+        } else {
+          out << "null";
+        }
       }
       out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
@@ -70,6 +83,8 @@ class JsonEmitter {
     double messages;
     double rounds;
     double wall_ns;
+    double value;
+    bool is_scalar;
   };
 
   std::string name_;

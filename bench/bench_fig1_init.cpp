@@ -20,6 +20,7 @@ void run() {
   sim::Table table({"N", "n0=sqrt(N)", "topology", "discovery_msgs",
                     "quorum_msgs", "partition_msgs", "total_msgs",
                     "N^{3/2}lnN"});
+  bench::JsonEmitter json("fig1_init");
 
   std::vector<double> dense_n;
   std::vector<double> dense_cost;
@@ -32,10 +33,16 @@ void run() {
       params.max_size = N;
       Metrics metrics;
       core::NowSystem system{params, metrics, 7 * N};
-      const auto report = system.initialize(
-          n0, static_cast<std::size_t>(0.15 * static_cast<double>(n0)),
-          topology);
+      core::InitReport report;
+      const double wall_ns = bench::time_ns([&] {
+        report = system.initialize(
+            n0, static_cast<std::size_t>(0.15 * static_cast<double>(n0)),
+            topology);
+      });
       const bool dense = topology == core::InitTopology::kComplete;
+      json.add(dense ? "init[complete]" : "init[sparse]", N,
+               static_cast<double>(report.total.messages),
+               static_cast<double>(report.total.rounds), wall_ns);
       const double bound =
           std::pow(static_cast<double>(N), 1.5) *
           std::log(static_cast<double>(N));
@@ -59,6 +66,7 @@ void run() {
   std::cout << "dense-case power-law fit: cost ~ N^" << sim::Table::fmt(
                    fit.slope, 3)
             << "  (r^2 = " << sim::Table::fmt(fit.r2, 4) << ")\n";
+  json.add_scalar("dense_fit_exponent", 1ULL << 16, fit.slope);
   bench::print_verdict(
       fit.slope > 1.1 && fit.slope < 1.8 && fit.r2 > 0.97,
       "worst-case init cost grows polynomially with exponent ~3/2 "

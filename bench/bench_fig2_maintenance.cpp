@@ -6,13 +6,68 @@
 // exponent near zero).
 #include "bench_common.hpp"
 
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
 #include "adversary/adversary.hpp"
 #include "sim/scenario.hpp"
 
 namespace now {
 namespace {
 
-void run() {
+/// The --shards axis: batched maintenance throughput of the sharded engine
+/// (DESIGN.md §7) against the sequential baseline, at a fixed network size.
+/// Emits one BENCH row per shard count: op = "batch[shards=K]", with the
+/// mean messages/rounds of one batch and the wall time per join+leave pair.
+void run_shards_axis(bench::JsonEmitter& json,
+                     const std::vector<std::size_t>& shard_axis) {
+  constexpr std::size_t kNodes = 20000;
+  constexpr std::size_t kBatch = 32;
+  constexpr int kSteps = 4;
+  std::cout << "\nSharded batch stepping (n = " << kNodes << ", batch = "
+            << kBatch << " joins + " << kBatch << " leaves):\n";
+  sim::Table table({"shards", "engine", "mean_batch_msgs", "batch_rounds",
+                    "wall_us_per_pair"});
+  for (const std::size_t shards : shard_axis) {
+    core::NowParams params;
+    params.max_size = 1 << 16;
+    params.walk_mode = core::WalkMode::kSampleExact;
+    Metrics metrics;
+    core::NowSystem system{params, metrics, 77};
+    system.initialize(kNodes, kNodes * 15 / 100,
+                      core::InitTopology::kModeledSparse);
+    Rng victims_rng{5};
+    double messages = 0;
+    double rounds = 0;
+    double wall_ns = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      const std::vector<NodeId> victims =
+          system.state().sample_distinct_nodes(victims_rng, kBatch);
+      core::OpReport report;
+      wall_ns += bench::time_ns([&] {
+        auto [joined, r] =
+            system.step_parallel(kBatch, victims, false, shards);
+        report = std::move(r);
+      });
+      messages += static_cast<double>(report.cost.messages);
+      rounds += static_cast<double>(report.cost.rounds);
+    }
+    messages /= kSteps;
+    rounds /= kSteps;
+    const double per_pair = wall_ns / (kSteps * kBatch);
+    table.add_row({sim::Table::fmt(std::uint64_t{shards}),
+                   shards <= 1 ? "sequential" : "sharded",
+                   sim::Table::fmt(messages, 0), sim::Table::fmt(rounds, 0),
+                   sim::Table::fmt(per_pair / 1000.0, 1)});
+    std::ostringstream op;
+    op << "batch[shards=" << shards << "]";
+    json.add(op.str(), kNodes, messages, rounds, per_pair);
+  }
+  table.print(std::cout);
+}
+
+void run(const std::vector<std::size_t>& shard_axis) {
   bench::print_header(
       "FIG2 (Figure 2: maintenance operations)",
       "join / leave (incl. induced split & merge) each cost polylog(N) "
@@ -115,12 +170,29 @@ void run() {
       "all maintenance costs grow sub-polynomially (local log-log slope "
       "falls across the sweep, the polylog signature; see EXPERIMENTS.md "
       "for the exponent-vs-paper discussion)");
+
+  run_shards_axis(json, shard_axis);
 }
 
 }  // namespace
 }  // namespace now
 
-int main() {
-  now::run();
+int main(int argc, char** argv) {
+  // --shards=K1,K2,... selects the shard counts of the batched-throughput
+  // axis; 1 is the sequential engine, >= 2 the sharded plan/commit engine.
+  std::vector<std::size_t> shard_axis = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kPrefix = "--shards=";
+    if (arg.starts_with(kPrefix)) {
+      shard_axis.clear();
+      std::stringstream list{std::string(arg.substr(kPrefix.size()))};
+      for (std::string item; std::getline(list, item, ',');) {
+        shard_axis.push_back(static_cast<std::size_t>(
+            std::max(1L, std::atol(item.c_str()))));
+      }
+    }
+  }
+  now::run(shard_axis);
   return 0;
 }

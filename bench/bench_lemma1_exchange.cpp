@@ -24,6 +24,7 @@ void run() {
 
   sim::Table table({"k", "tau", "|C|", "mean_pC", "max_pC",
                     "P(pC>tau(1+eps))", "chernoff_bound", "P(pC>=1/3)"});
+  bench::JsonEmitter json("lemma1_exchange");
 
   bool all_good = true;
   for (const int k : {2, 3, 5, 8}) {
@@ -85,6 +86,10 @@ void run() {
                      sim::Table::fmt(tail_rate, 3),
                      sim::Table::fmt(chernoff, 4),
                      sim::Table::fmt(comp_rate, 3)});
+      const std::string setting = "[k=" + std::to_string(k) +
+                                  ",tau=" + sim::Table::fmt(tau, 2) + "]";
+      json.add_scalar("mean_pC" + setting, N, fraction.mean());
+      json.add_scalar("tail_rate" + setting, N, tail_rate);
       // The lemma's regime: tau(1+eps) < 1/3 needs tau <= 0.2 at eps=0.5;
       // there the empirical tail must be within range of the bound.
       if (tau <= 0.2 && k >= 5 && tail_rate > std::max(0.05, 3 * chernoff)) {

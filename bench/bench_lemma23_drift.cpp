@@ -26,6 +26,7 @@ void run() {
 
   sim::Table table({"N", "|C|", "k*lnN", "mean_swaps", "p95_swaps",
                     "swaps/lnN", "P(excursion>tau(1+eps))"});
+  bench::JsonEmitter json("lemma23_drift");
 
   std::vector<double> sweep_n;
   std::vector<double> mean_swaps_per_n;
@@ -109,6 +110,8 @@ void run() {
          sim::Table::fmt(excursion_rate, 3)});
     sweep_n.push_back(static_cast<double>(N));
     mean_swaps_per_n.push_back(swaps_stat.mean());
+    json.add_scalar("recovery_swaps", N, swaps_stat.mean());
+    json.add_scalar("excursion_rate", N, excursion_rate);
     // Lemma 2's "whp" is asymptotic in the cluster size k ln N: at N = 2^10
     // a +1 member fluctuation already crosses the ceiling, so judge the
     // large-cluster rows.
@@ -117,6 +120,7 @@ void run() {
   table.print(std::cout);
 
   const auto fit = polylog_fit(sweep_n, mean_swaps_per_n);
+  json.add_scalar("recovery_fit_exponent", 1ULL << 18, fit.slope);
   std::cout << "recovery swaps ~ (ln N)^" << sim::Table::fmt(fit.slope, 2)
             << " (r^2=" << sim::Table::fmt(fit.r2, 3)
             << "; Lemmas 2-3 predict exponent ~1: O(log N) exchanges)\n";

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -154,8 +155,17 @@ BENCHMARK(BM_ExchangeAll);
 
 /// Join/leave churn at size n — the hot maintenance path whose per-op
 /// wall-clock cost gates how large a deployment the simulator can step.
+///
+/// The second argument is the --shards axis: shards = 1 drives the legacy
+/// sequential engine one operation at a time (the pre-sharding trajectory
+/// baseline); shards >= 2 drives batches of kShardedBatch joins + leaves
+/// through the sharded plan/commit engine. Time is reported per
+/// join + leave pair in both modes so the BENCH_micro.json rows stay
+/// comparable across engines and PRs.
 void BM_JoinLeaveCycle(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kShardedBatch = 32;
   core::NowParams params;
   params.max_size = std::max<std::uint64_t>(std::uint64_t{1} << 12,
                                             std::bit_ceil(2 * n));
@@ -163,13 +173,41 @@ void BM_JoinLeaveCycle(benchmark::State& state) {
   Metrics metrics;
   core::NowSystem system{params, metrics, 9};
   system.initialize(n, n * 15 / 100, core::InitTopology::kModeledSparse);
+  if (shards <= 1) {
+    for (auto _ : state) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto [node, report] = system.join(false);
+      benchmark::DoNotOptimize(report.cost.messages);
+      system.leave(node);
+      state.SetIterationTime(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
+    return;
+  }
   for (auto _ : state) {
-    const auto [node, report] = system.join(false);
-    benchmark::DoNotOptimize(report.cost.messages);
-    system.leave(node);
+    const auto start = std::chrono::steady_clock::now();
+    const auto [joined, up] =
+        system.step_parallel(kShardedBatch, {}, false, shards);
+    benchmark::DoNotOptimize(up.cost.messages);
+    const auto [unused, down] = system.step_parallel(0, joined, false, shards);
+    benchmark::DoNotOptimize(down.cost.messages);
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        static_cast<double>(kShardedBatch));
   }
 }
-BENCHMARK(BM_JoinLeaveCycle)->Arg(800)->Arg(100000)->Arg(200000);
+BENCHMARK(BM_JoinLeaveCycle)
+    ->UseManualTime()
+    ->Args({800, 1})
+    ->Args({800, 4})
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({200000, 1})
+    ->Args({200000, 4});
 
 }  // namespace
 }  // namespace now

@@ -26,6 +26,7 @@ void run() {
   const std::uint64_t N = 1 << 12;
   const auto n_low = static_cast<std::size_t>(isqrt(N));
   const std::size_t n_high = N / 4;
+  bench::JsonEmitter json("poly_growth");
 
   // --- NOW through the full oscillation.
   sim::ScenarioConfig config;
@@ -98,6 +99,16 @@ void run() {
       static_cast<double>(std::max<std::uint64_t>(1, last_join_small));
   std::cout << "baseline join-cost blow-up across the ramp: x"
             << sim::Table::fmt(blowup, 1) << "\n";
+  json.add("join[now]", N,
+           bench::mean_messages(metrics.operation_samples("join")),
+           bench::mean_rounds(metrics.operation_samples("join")), 0.0);
+  json.add("join[static-baseline,final]", N,
+           static_cast<double>(last_join_big), 0.0, 0.0);
+  json.add_scalar("peak_pC", N, result.peak_byz_fraction);
+  json.add_scalar("baseline_join_blowup", N, blowup);
+  json.add_scalar("restructures", N,
+                  static_cast<double>(result.total_splits +
+                                      result.total_merges));
 
   bench::print_verdict(
       !result.ever_compromised && result.total_splits > 0 &&

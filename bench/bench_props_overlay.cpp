@@ -26,6 +26,7 @@ void run() {
   sim::Table table({"N", "vertices", "churn_ops", "d*", "cap", "max_deg",
                     "min_deg", "connected", "I(G)_lower", "I(G)_upper",
                     "paper_I>=", "gap"});
+  bench::JsonEmitter json("props_overlay");
 
   bool all_good = true;
   for (const std::uint64_t exponent : {12u, 14u, 16u, 18u}) {
@@ -79,6 +80,11 @@ void run() {
          sim::Table::fmt(est.sweep_edge_expansion, 2),
          sim::Table::fmt(paper_bound, 2),
          sim::Table::fmt(est.spectral_gap, 3)});
+    json.add_scalar("max_degree", N, static_cast<double>(worst_degree));
+    json.add_scalar("degree_cap", N,
+                    static_cast<double>(overlay.degree_cap()));
+    json.add_scalar("edge_expansion_sweep", N, est.sweep_edge_expansion);
+    json.add_scalar("spectral_gap", N, est.spectral_gap);
     // Property 2 exactly; Property 1 via the sweep upper bound staying above
     // the paper line (the lower bound is loose by Cheeger's quadratic).
     if (worst_degree > overlay.degree_cap() || !connected ||

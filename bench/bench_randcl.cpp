@@ -20,6 +20,7 @@ void run() {
 
   sim::Table table({"N", "#C", "mean_msgs", "ln^5(N)", "mean_rounds",
                     "ln^4(N)", "mean_hops", "mean_restarts", "chi2_p"});
+  bench::JsonEmitter json("randcl");
 
   std::vector<double> sweep_n;
   std::vector<double> costs;
@@ -79,6 +80,8 @@ void run() {
     sweep_n.push_back(static_cast<double>(N));
     costs.push_back(msgs.mean());
     rounds_sweep.push_back(rnds.mean());
+    json.add("randcl", N, msgs.mean(), rnds.mean(), 0.0);
+    json.add_scalar("chi2_p", N, p_value);
     if (p_value < 1e-4) law_ok = false;
   }
   table.print(std::cout);
@@ -87,6 +90,8 @@ void run() {
   const auto fit = polylog_fit(sweep_n, costs);
   const auto rfit = polylog_fit(sweep_n, rounds_sweep);
   bounded = fit.slope < 5.0 && rfit.slope < 4.0;
+  json.add_scalar("message_fit_exponent", 1ULL << 18, fit.slope);
+  json.add_scalar("round_fit_exponent", 1ULL << 18, rfit.slope);
   std::cout << "message cost ~ (ln N)^" << sim::Table::fmt(fit.slope, 2)
             << " (paper bound exponent: 5); rounds ~ (ln N)^"
             << sim::Table::fmt(rfit.slope, 2) << " (paper bound: 4)\n";

@@ -27,6 +27,7 @@ void run() {
 
   sim::Table table({"r", "tau", "regime", "k", "peak_pC", "1/r line",
                     "breached"});
+  bench::JsonEmitter json("remarks");
   bool all_good = true;
 
   struct Row {
@@ -71,6 +72,8 @@ void run() {
                    sim::Table::fmt(std::uint64_t(row.k)),
                    sim::Table::fmt(result.peak_byz_fraction, 3),
                    sim::Table::fmt(line, 3), breached ? "YES" : "no"});
+    json.add_scalar("peak_pC[r=" + std::to_string(row.r) + "]", 1 << 12,
+                    result.peak_byz_fraction);
     if (breached) all_good = false;
   }
   table.print(std::cout);

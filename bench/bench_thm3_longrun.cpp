@@ -34,6 +34,7 @@ void run() {
 
   sim::Table table({"adversary", "tau", "k", "|C|~", "steps", "peak_pC",
                     "compromised", "first_step", "regime"});
+  bench::JsonEmitter json("thm3_longrun");
 
   bool in_regime_clean = true;
   const std::uint64_t N = 1 << 12;
@@ -85,6 +86,10 @@ void run() {
                ? sim::Table::fmt(std::uint64_t{result.first_compromise_step})
                : "-",
            setting.gate ? "whp (gated)" : "boundary"});
+      json.add_scalar("peak_pC[" + kind +
+                          ",tau=" + sim::Table::fmt(setting.tau, 2) +
+                          ",k=" + std::to_string(setting.k) + "]",
+                      N, result.peak_byz_fraction);
       if (setting.gate && result.ever_compromised) in_regime_clean = false;
     }
   }

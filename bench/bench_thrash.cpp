@@ -24,6 +24,7 @@ void run() {
 
   sim::Table table({"l", "steps", "splits", "merges", "ops_per_restructure",
                     "mean_op_msgs", "compromised"});
+  bench::JsonEmitter json("thrash");
 
   bool amplification_grows = true;
   double previous_ratio = 0.0;
@@ -60,6 +61,10 @@ void run() {
                    sim::Table::fmt(std::uint64_t{result.total_merges}),
                    sim::Table::fmt(ratio, 1), sim::Table::fmt(mean_op, 0),
                    result.ever_compromised ? "YES" : "no"});
+    json.add("op_mean[l=" + sim::Table::fmt(l, 1) + "]", 1 << 12, mean_op,
+             0.0, 0.0);
+    json.add_scalar("ops_per_restructure[l=" + sim::Table::fmt(l, 1) + "]",
+                    1 << 12, ratio);
     if (ratio < previous_ratio) amplification_grows = false;
     previous_ratio = ratio;
   }

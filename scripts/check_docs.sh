@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Docs-consistency gate: every `bench_<name>` mentioned in README.md or
+# EXPERIMENTS.md must exist as bench/bench_<name>.cpp (CMake globs that
+# directory, so file existence == build target existence). Fails the CI
+# docs job when documentation references a bench that was renamed or
+# removed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md EXPERIMENTS.md; do
+  [ -f "$doc" ] || { echo "missing $doc" >&2; status=1; continue; }
+  # Collect bench_<name> tokens, stripping punctuation and the .cpp/.json
+  # artifact suffixes (BENCH_*.json names are checked via their bench).
+  # `|| true`: a doc with zero bench references is fine, not a grep failure.
+  refs=$(grep -oE 'bench_[a-z0-9_]+' "$doc" | sort -u || true)
+  for ref in $refs; do
+    if [ ! -f "bench/${ref}.cpp" ] && [ ! -f "bench/${ref}.hpp" ]; then
+      echo "$doc references '$ref' but bench/${ref}.{cpp,hpp} does not" \
+           "exist" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs check passed: every referenced bench target exists"
+fi
+exit "$status"

@@ -59,6 +59,19 @@ std::size_t Metrics::operation_count(std::string_view label) const {
   return samples == nullptr ? 0 : samples->size();
 }
 
+void Metrics::merge(const Metrics& other) {
+  assert(other.stack_.empty() && "merge() of a Metrics with open scopes");
+  add_messages(other.total_.messages);
+  add_rounds(other.total_.rounds);
+  for (OperationId id = 0; id < other.completed_.size(); ++id) {
+    const auto& samples = other.completed_[id];
+    if (samples.empty()) continue;
+    const OperationId mine = intern(other.label_by_id_[id]);
+    completed_[mine].insert(completed_[mine].end(), samples.begin(),
+                            samples.end());
+  }
+}
+
 void Metrics::reset() {
   assert(stack_.empty() && "reset() while operations are in flight");
   total_ = Cost{};

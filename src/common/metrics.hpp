@@ -76,6 +76,15 @@ class Metrics {
   /// Number of completed operations with this label.
   [[nodiscard]] std::size_t operation_count(std::string_view label) const;
 
+  /// Folds another Metrics instance into this one: `other`'s total is
+  /// charged through add_messages/add_rounds (so it propagates into any
+  /// OpScope currently open on *this*) and its completed per-operation
+  /// samples are appended under the same labels. Used by the sharded batch
+  /// step, where each shard accumulates into a private Metrics off-thread
+  /// and the results are merged back on commit. `other` must have no
+  /// in-flight scopes.
+  void merge(const Metrics& other);
+
   void reset();
 
  private:

@@ -101,4 +101,14 @@ std::vector<std::size_t> Rng::sample_distinct(std::size_t n, std::size_t k) {
 
 Rng Rng::fork() { return Rng{next() ^ 0xD1B54A32D192ED03ULL}; }
 
+Rng Rng::derive_stream(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t substream) {
+  std::uint64_t state = seed;
+  std::uint64_t acc = splitmix64(state);
+  state = acc ^ (stream + 0xA0761D6478BD642FULL);
+  acc = splitmix64(state);
+  state = acc ^ (substream + 0xE7037ED1A0B428DBULL);
+  return Rng{splitmix64(state)};
+}
+
 }  // namespace now

@@ -71,6 +71,15 @@ class Rng {
   /// each protocol entity its own stream without sharing state.
   [[nodiscard]] Rng fork();
 
+  /// Stateless stream derivation for parallel stepping: the generator is a
+  /// pure function of (seed, stream, substream), so any worker can recreate
+  /// the stream for operation `substream` of batch `stream` without touching
+  /// shared RNG state. Nearby triples land in unrelated states (each word is
+  /// passed through splitmix64 before mixing in the next).
+  [[nodiscard]] static Rng derive_stream(std::uint64_t seed,
+                                         std::uint64_t stream,
+                                         std::uint64_t substream);
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -46,12 +46,217 @@ over::OverParams make_over_params(const NowParams& p) {
   return op;
 }
 
+// ------------------------------------------------------- sharded batch plan
+//
+// The sharded engine splits every batch operation into a PLAN phase (random
+// decisions + cost accounting against the frozen start-of-step state; runs
+// concurrently, one shard per thread, each op on its own derived RNG stream)
+// and a COMMIT phase (membership mutations + deferred splits/merges; runs
+// sequentially in canonical operation order). Plans never touch NowState
+// non-const — everything they decide is recorded here.
+
+/// One exchange swap decided during planning: x (member of `from`) trades
+/// places with y (member of `to`). Applied at commit iff both nodes still
+/// live where the plan saw them; otherwise the swap is dropped as a
+/// cross-shard conflict.
+struct PendingSwap {
+  NodeId x;
+  ClusterId from;
+  NodeId y;
+  ClusterId to;
+};
+
+struct PlannedOp {
+  bool is_join = false;
+  NodeId node;                              // joiner or leaver
+  ClusterId target = ClusterId::invalid();  // join target / leave home
+  std::uint64_t rounds = 0;                 // op critical path
+  std::vector<PendingSwap> swaps;
+};
+
+/// Aggregates of the frozen snapshot, computed once per batch and shared
+/// read-only by every planner thread. The sequential engine must recompute
+/// these on every swap because each swap mutates the state; the plan phase
+/// reads an immutable snapshot, which is where the single-core speedup of
+/// the sharded engine comes from (the thread pool stacks on top of it).
+struct PlanCache {
+  /// Sum of neighbor-cluster sizes, keyed by cluster slot.
+  std::vector<std::uint64_t> neighborhood_by_slot;
+  /// Modeled kSampleExact walk (cluster unset); invalid under kSimulate.
+  RandClResult walk;
+
+  [[nodiscard]] std::uint64_t neighborhood(const NowState& state,
+                                           ClusterId c) const {
+    return neighborhood_by_slot[state.slot_index(c)];
+  }
+};
+
+PlanCache build_plan_cache(const NowState& state, const NowParams& params) {
+  PlanCache cache;
+  for (const ClusterId c : state.cluster_ids()) {
+    const std::size_t slot = state.slot_index(c);
+    if (cache.neighborhood_by_slot.size() <= slot) {
+      cache.neighborhood_by_slot.resize(slot + 1, 0);
+    }
+    cache.neighborhood_by_slot[slot] = neighborhood_population(state, c);
+  }
+  if (params.walk_mode == WalkMode::kSampleExact) {
+    cache.walk = rand_cl_cost_model(state, params);
+  }
+  return cache;
+}
+
+/// randCl against the snapshot. kSampleExact: the endpoint draw plus the
+/// cached modeled cost (identical charges to run_rand_cl, minus the per-call
+/// cost-model recomputation). kSimulate walks hop by hop as usual.
+RandClResult plan_rand_cl(const NowState& state, const NowParams& params,
+                          ClusterId start, const PlanCache& cache,
+                          Metrics& metrics, Rng& rng) {
+  if (params.walk_mode == WalkMode::kSimulate) {
+    return run_rand_cl(state, params, start, metrics, rng);
+  }
+  RandClResult result = cache.walk;
+  result.cluster = state.random_cluster_size_biased(rng);
+  metrics.add_messages(result.cost.messages);
+  return result;
+}
+
+/// Cost-only cluster-to-cluster notice: exchange planning never consumes the
+/// majority-rule outcome, so the per-call Byzantine count is skipped; the
+/// charged messages and the round are identical to cluster_send.
+std::uint64_t charge_cluster_send(std::size_t from_size, std::size_t to_size,
+                                  Metrics& metrics) {
+  const Cost cost = cluster::cluster_send_cost(from_size, to_size, 1);
+  metrics.add_messages(cost.messages);
+  return cost.rounds;
+}
+
+/// Plans exchange_all(c) against the snapshot: the same walk / notice /
+/// draw / broadcast cost sequence as the sequential version, but the
+/// membership swaps are recorded instead of applied. `skip` excludes the
+/// departing node of a leave. Returns the exchange's parallel round count.
+std::uint64_t plan_exchange(const NowState& state, const NowParams& params,
+                            ClusterId c, NodeId skip, const PlanCache& cache,
+                            Metrics& metrics, Rng& rng,
+                            std::vector<PendingSwap>& swaps,
+                            std::vector<ClusterId>* partners_out) {
+  OpScope scope(metrics, "exchange");
+  std::uint64_t rounds_max = 0;
+  std::vector<ClusterId> partners;
+  const std::size_t c_size = state.cluster_at(c).size();
+  const std::uint64_t c_neighborhood = cache.neighborhood(state, c);
+  const std::vector<NodeId>& snapshot = state.cluster_at(c).members();
+  for (const NodeId x : snapshot) {
+    if (x == skip) continue;
+    ClusterId partner = c;
+    std::uint64_t chain_rounds = 0;
+    for (int attempt = 0; attempt < 8 && partner == c; ++attempt) {
+      const auto walk = plan_rand_cl(state, params, c, cache, metrics, rng);
+      chain_rounds += walk.cost.rounds;
+      partner = walk.cluster;
+    }
+    if (partner != c) {
+      if (std::find(partners.begin(), partners.end(), partner) ==
+          partners.end()) {
+        partners.push_back(partner);
+      }
+      const auto& to = state.cluster_at(partner);
+      chain_rounds += charge_cluster_send(c_size, to.size(), metrics);
+      const auto draw = cluster::rand_num_value(
+          to.size(), to.size(), params.rand_num_mode, metrics, rng);
+      chain_rounds += draw.cost.rounds;
+      swaps.push_back(PendingSwap{x, c, to.member_at(draw.value), partner});
+      const std::uint64_t handoff_units =
+          static_cast<std::uint64_t>(c_size) +
+          static_cast<std::uint64_t>(to.size());
+      metrics.add_messages(2 * handoff_units);
+      const std::uint64_t p_neighborhood = cache.neighborhood(state, partner);
+      metrics.add_messages(2 * (c_size * c_neighborhood +
+                                to.size() * p_neighborhood));
+      chain_rounds += 1;
+      const std::uint64_t c_info = c_size + c_neighborhood;
+      const std::uint64_t p_info = to.size() + p_neighborhood;
+      metrics.add_messages(c_info * c_size + p_info * to.size());
+      chain_rounds += 1;
+    }
+    rounds_max = std::max(rounds_max, chain_rounds);
+  }
+  if (partners_out != nullptr) *partners_out = std::move(partners);
+  return rounds_max;
+}
+
+/// Plans Algorithm 1 for a fresh node. Mirrors NowSystem::place_node except
+/// that the joiner is absent from the snapshot, so it does not take part in
+/// the induced exchange (it is shuffled from its next operation onward) and
+/// the induced split is deferred to commit.
+PlannedOp plan_join(const NowState& state, const NowParams& params,
+                    NodeId node, const PlanCache& cache, Metrics& metrics,
+                    Rng& rng) {
+  OpScope scope(metrics, "join");
+  PlannedOp op;
+  op.is_join = true;
+  op.node = node;
+  const ClusterId contact = state.random_cluster_uniform(rng);
+  const auto walk = plan_rand_cl(state, params, contact, cache, metrics, rng);
+  std::uint64_t rounds = walk.cost.rounds;
+  op.target = walk.cluster;
+
+  const auto& dest = state.cluster_at(op.target);
+  const std::uint64_t neighborhood = cache.neighborhood(state, op.target);
+  metrics.add_messages(dest.size() * neighborhood);  // announce x, 1 unit
+  const std::uint64_t info_units =
+      static_cast<std::uint64_t>(dest.size()) + neighborhood;
+  metrics.add_messages(info_units *
+                       (static_cast<std::uint64_t>(dest.size()) +
+                        static_cast<std::uint64_t>(walk.hops)));
+  rounds += 2;
+
+  if (params.shuffle_enabled) {
+    rounds += plan_exchange(state, params, op.target, NodeId::invalid(),
+                            cache, metrics, rng, op.swaps, nullptr);
+  }
+  op.rounds = rounds;
+  metrics.add_rounds(rounds);
+  return op;
+}
+
+/// Plans Algorithm 2 for `node`. The induced merge is deferred to commit.
+PlannedOp plan_leave(const NowState& state, const NowParams& params,
+                     NodeId node, const PlanCache& cache, Metrics& metrics,
+                     Rng& rng) {
+  OpScope scope(metrics, "leave");
+  PlannedOp op;
+  op.node = node;
+  op.target = state.home_of(node);
+  metrics.add_messages(state.cluster_at(op.target).size() *
+                       cache.neighborhood(state, op.target));  // drop x
+  std::uint64_t rounds = 1;
+
+  if (params.shuffle_enabled && state.cluster_at(op.target).size() > 1) {
+    std::vector<ClusterId> partners;
+    rounds += plan_exchange(state, params, op.target, node, cache, metrics,
+                            rng, op.swaps, &partners);
+    std::uint64_t secondary_max = 0;
+    for (const ClusterId partner : partners) {
+      secondary_max = std::max(
+          secondary_max,
+          plan_exchange(state, params, partner, NodeId::invalid(), cache,
+                        metrics, rng, op.swaps, nullptr));
+    }
+    rounds += secondary_max;
+  }
+  op.rounds = rounds;
+  metrics.add_rounds(rounds);
+  return op;
+}
+
 }  // namespace
 
 NowSystem::NowSystem(const NowParams& params, Metrics& metrics,
                      std::uint64_t seed)
     : params_(params),
       metrics_(metrics),
+      seed_(seed),
       rng_(seed),
       state_(make_over_params(params)) {}
 
@@ -184,8 +389,12 @@ InitReport NowSystem::initialize(std::size_t n0, std::size_t byzantine_count,
 
 std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel(
     std::size_t joins, const std::vector<NodeId>& leaves,
-    bool byzantine_joiners) {
+    bool byzantine_joiners, std::size_t shards) {
   assert(initialized_);
+  if (shards > 1) {
+    return step_parallel_sharded(joins, leaves, byzantine_joiners, shards);
+  }
+
   OpScope scope(metrics_, "batch");
   OpReport combined;
   std::vector<NodeId> joined;
@@ -210,6 +419,148 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel(
 
   combined.cost = scope.cost();
   combined.cost.rounds = rounds_max;  // parallel in time: max, not sum
+  return {std::move(joined), combined};
+}
+
+ThreadPool& NowSystem::pool_for(std::size_t shards) {
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t wanted = std::min(shards, hardware) - 1;
+  if (pool_ == nullptr || pool_->worker_count() < wanted) {
+    pool_ = std::make_unique<ThreadPool>(wanted);
+  }
+  return *pool_;
+}
+
+std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
+    std::size_t joins, const std::vector<NodeId>& leaves,
+    bool byzantine_joiners, std::size_t shards) {
+  assert(initialized_);
+  shards = std::max<std::size_t>(1, shards);
+  OpScope scope(metrics_, "batch");
+  OpReport combined;
+  const std::uint64_t batch_id = batch_counter_++;
+
+  // --- Sequential setup: allocate joiner identities and corrupt them, so
+  // ids and the Byzantine ground truth are independent of the shard count.
+  std::vector<NodeId> joined;
+  joined.reserve(joins);
+  for (std::size_t i = 0; i < joins; ++i) {
+    const NodeId node = state_.fresh_node_id();
+    if (byzantine_joiners) state_.byzantine.insert(node);
+    state_.register_node(node);
+    joined.push_back(node);
+  }
+
+  // --- Partition: leaves by home-cluster slot, joins (homeless until their
+  // walk lands) round-robin. The assignment balances work; it can never
+  // change results because plans read only the snapshot + their own stream.
+  const std::size_t total_ops = joins + leaves.size();
+  std::vector<PlannedOp> ops(total_ops);
+  std::vector<Metrics> shard_metrics(shards);
+  std::vector<std::vector<std::size_t>> assignment(shards);
+  for (std::size_t i = 0; i < joins; ++i) {
+    assignment[i % shards].push_back(i);
+  }
+  for (std::size_t j = 0; j < leaves.size(); ++j) {
+    assert(state_.is_placed(leaves[j]) && "leave of an unplaced node");
+    const std::size_t slot = state_.slot_index(state_.home_of(leaves[j]));
+    assignment[slot % shards].push_back(joins + j);
+  }
+
+  // --- Parallel planning against the frozen snapshot. NowState is only
+  // read from here until the commit phase below; the cache holds the
+  // snapshot aggregates every plan would otherwise recompute per swap.
+  const NowState& snapshot = state_;
+  const PlanCache cache = build_plan_cache(snapshot, params_);
+  pool_for(shards).parallel_for(shards, [&](std::size_t s) {
+    for (const std::size_t index : assignment[s]) {
+      Rng op_rng = Rng::derive_stream(seed_, batch_id, index);
+      if (index < joins) {
+        ops[index] = plan_join(snapshot, params_, joined[index], cache,
+                               shard_metrics[s], op_rng);
+      } else {
+        ops[index] = plan_leave(snapshot, params_, leaves[index - joins],
+                                cache, shard_metrics[s], op_rng);
+      }
+    }
+  });
+
+  // --- Merge per-shard accounting into the caller's Metrics (inside the
+  // open "batch" scope) and combine rounds by max across operations.
+  std::uint64_t rounds_max = 0;
+  for (auto& shard : shard_metrics) {
+    combined.shard_costs.push_back(shard.total());
+    metrics_.merge(shard);
+  }
+  for (const PlannedOp& op : ops) {
+    rounds_max = std::max(rounds_max, op.rounds);
+  }
+
+  // --- Sequential commit in canonical operation order: apply membership
+  // effects, dropping swaps whose nodes an earlier operation already moved,
+  // then run the deferred splits/merges on the clusters whose size changed.
+  std::uint64_t commit_rounds = 0;
+  {
+    OpScope commit(metrics_, "batch.commit");
+    std::vector<ClusterId> resized;
+    for (const PlannedOp& op : ops) {
+      if (op.is_join) {
+        state_.add_member(op.target, op.node);
+        resized.push_back(op.target);
+      } else {
+        // Re-resolve the home: an earlier swap may have moved the leaver.
+        const ClusterId current = state_.home_of(op.node);
+        state_.remove_member(current, op.node);
+        state_.byzantine.erase(op.node);
+        state_.unregister_node(op.node);
+        resized.push_back(current);
+      }
+      for (const PendingSwap& swap : op.swaps) {
+        // A swap trades two *nodes*; earlier operations of the batch may
+        // already have moved either one, so commit at the current homes
+        // (the shuffle keeps its full strength). Drop the swap only when a
+        // node is gone (left in this batch) or the two now share a cluster.
+        const ClusterId x_home = state_.home_of(swap.x);
+        const ClusterId y_home = state_.home_of(swap.y);
+        if (!x_home.valid() || !y_home.valid() || x_home == y_home) {
+          ++combined.conflicts;
+          continue;
+        }
+        state_.move_node(swap.x, x_home, y_home);
+        state_.move_node(swap.y, y_home, x_home);
+      }
+    }
+    // Swaps are size-neutral, so only join targets and leave homes can have
+    // crossed a threshold. Deduplicate in first-touch order (deterministic).
+    std::vector<ClusterId> candidates;
+    for (const ClusterId c : resized) {
+      if (std::find(candidates.begin(), candidates.end(), c) ==
+          candidates.end()) {
+        candidates.push_back(c);
+      }
+    }
+    for (const ClusterId c : candidates) {
+      if (!state_.has_cluster(c)) continue;  // merged away earlier
+      while (state_.has_cluster(c) &&
+             state_.cluster_at(c).size() >
+                 params_.split_threshold(state_.num_nodes())) {
+        commit_rounds += do_split(c, combined);
+      }
+      if (state_.has_cluster(c) && state_.num_clusters() > 1 &&
+          state_.cluster_at(c).size() <
+              params_.merge_threshold(state_.num_nodes())) {
+        commit_rounds += do_merge(c, combined);
+      }
+    }
+    metrics_.add_rounds(commit_rounds);
+    combined.commit_cost = commit.cost();
+  }
+
+  combined.cost = scope.cost();
+  // Planned operations overlap in time (max); the commit's restructuring
+  // runs after the batch on the critical path (add).
+  combined.cost.rounds = rounds_max + commit_rounds;
   return {std::move(joined), combined};
 }
 

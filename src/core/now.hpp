@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/invariants.hpp"
 #include "core/params.hpp"
 #include "core/rand_cl.hpp"
@@ -54,12 +56,26 @@ struct InitReport {
 };
 
 /// Outcome of one maintenance operation (join or leave plus everything it
-/// induced).
+/// induced). Batched steps reuse the same report; the sharded engine
+/// additionally fills the per-shard accounting fields.
 struct OpReport {
   Cost cost;
   std::size_t splits = 0;
   std::size_t merges = 0;
   std::size_t rejoins = 0;
+
+  /// Sharded batches only: planned swaps dropped at commit — the
+  /// cross-shard serialization point. Stale swaps are normally reconciled
+  /// (applied at the nodes' *current* homes); a drop happens only when one
+  /// of the two nodes left in this batch or both ended up in one cluster.
+  std::size_t conflicts = 0;
+  /// Sharded batches only: each shard's planning-phase cost (messages are
+  /// exact; rounds are the shard's sequential sum, the batch's round count
+  /// below combines per-op rounds by max). Sums to cost - commit_cost.
+  std::vector<Cost> shard_costs;
+  /// Sharded batches only: cost of the sequential commit phase (membership
+  /// moves plus the deferred splits/merges it triggered).
+  Cost commit_cost;
 };
 
 class NowSystem {
@@ -88,9 +104,30 @@ class NowSystem {
   /// time, so the batch's round count is the max — not the sum — of the
   /// individual operations'. Returns the ids of the joined nodes plus the
   /// combined report. Leave targets must be live and distinct.
+  ///
+  /// `shards <= 1` runs the historical sequential engine (bit-compatible
+  /// with the pre-sharding implementation — the tier-1 fixed-seed tests and
+  /// the pre-PR BENCH trajectory key off this path). `shards >= 2` routes to
+  /// step_parallel_sharded below.
   std::pair<std::vector<NodeId>, OpReport> step_parallel(
       std::size_t joins, const std::vector<NodeId>& leaves,
-      bool byzantine_joiners = false);
+      bool byzantine_joiners = false, std::size_t shards = 1);
+
+  /// The sharded batch engine (DESIGN.md §7). Operations are partitioned by
+  /// home-cluster slot modulo `shards` and *planned* concurrently on a small
+  /// thread pool against the frozen start-of-step state — each operation
+  /// draws from its own RNG stream Rng::derive_stream(seed, batch, op) and
+  /// charges a per-shard Metrics — then a sequential commit phase applies
+  /// membership effects in canonical operation order and runs the deferred
+  /// splits/merges. Because plans depend only on the snapshot and per-op
+  /// streams, and the commit order is the operation order, the resulting
+  /// state is IDENTICAL for every shard count (shards = 1 included); the
+  /// shard count only changes wall-clock. This entry point always uses the
+  /// sharded engine, so `shards = 1` here is the equivalence baseline, while
+  /// step_parallel(..., shards = 1) is the legacy sequential engine.
+  std::pair<std::vector<NodeId>, OpReport> step_parallel_sharded(
+      std::size_t joins, const std::vector<NodeId>& leaves,
+      bool byzantine_joiners, std::size_t shards);
 
   /// randCl from `start` (exposed for tests and benches; charges costs).
   RandClResult rand_cl_from(ClusterId start);
@@ -130,11 +167,18 @@ class NowSystem {
   /// accumulating the max parallel rounds into *rounds_max.
   over::Overlay::Sampler overlay_sampler(std::uint64_t* rounds_max);
 
+  /// Lazily (re)built pool with at least `shards - 1` workers, capped at
+  /// the hardware concurrency. Worker count never affects results.
+  ThreadPool& pool_for(std::size_t shards);
+
   NowParams params_;
   Metrics& metrics_;
+  std::uint64_t seed_;
   Rng rng_;
   NowState state_;
   bool initialized_ = false;
+  std::uint64_t batch_counter_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace now::core

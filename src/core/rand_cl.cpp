@@ -86,10 +86,18 @@ RandClResult simulate_walk(const NowState& state, const NowParams& params,
 
 RandClResult sample_exact(const NowState& state, const NowParams& params,
                           ClusterId /*start*/, Metrics& metrics, Rng& rng) {
-  RandClResult result;
-  result.cluster = state.random_cluster_size_biased(rng);
-
   // Charge the modeled cost of the walk that kSimulate would have run.
+  RandClResult result = rand_cl_cost_model(state, params);
+  result.cluster = state.random_cluster_size_biased(rng);
+  metrics.add_messages(result.cost.messages);
+  return result;
+}
+
+}  // namespace
+
+RandClResult rand_cl_cost_model(const NowState& state,
+                                const NowParams& params) {
+  RandClResult result;
   const std::size_t m = std::max<std::size_t>(state.num_clusters(), 2);
   const auto hops = static_cast<std::uint64_t>(std::ceil(
       params.walk_factor * log_pow(static_cast<double>(m), 2.0)));
@@ -103,11 +111,8 @@ RandClResult sample_exact(const NowState& state, const NowParams& params,
       hops * (rand_num.messages + transfer.messages) + rand_num.messages;
   result.cost.rounds =
       hops * (rand_num.rounds + transfer.rounds) + rand_num.rounds;
-  metrics.add_messages(result.cost.messages);
   return result;
 }
-
-}  // namespace
 
 RandClResult run_rand_cl(const NowState& state, const NowParams& params,
                          ClusterId start, Metrics& metrics, Rng& rng) {

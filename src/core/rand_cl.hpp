@@ -48,4 +48,12 @@ struct RandClResult {
                                        ClusterId start, Metrics& metrics,
                                        Rng& rng);
 
+/// Modeled cost + hop count of one WalkMode::kSampleExact walk — a pure
+/// function of the aggregate state (#clusters, #nodes), with `cluster` left
+/// invalid and nothing charged. kSampleExact draws the endpoint and charges
+/// exactly this; the sharded batch planner computes it once per batch
+/// (the aggregates are frozen while planning) instead of per walk.
+[[nodiscard]] RandClResult rand_cl_cost_model(const NowState& state,
+                                              const NowParams& params);
+
 }  // namespace now::core

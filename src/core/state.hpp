@@ -115,6 +115,14 @@ class NowState {
   [[nodiscard]] std::size_t num_clusters() const { return live_ids_.size(); }
   [[nodiscard]] std::size_t num_nodes() const { return placed_count_; }
 
+  /// Stable slot index of a live cluster — the sharded batch step's
+  /// partition key (operations are grouped by home-cluster slot modulo the
+  /// shard count, see DESIGN.md §7). Slots are reused after destroy, so the
+  /// value is only meaningful while the cluster is alive.
+  [[nodiscard]] std::size_t slot_index(ClusterId id) const {
+    return slot_of(id);
+  }
+
   // ------------------------------------------------------------- membership
 
   /// Adds `node` to cluster `c` and records the home mapping.
@@ -189,6 +197,20 @@ class NowState {
   [[nodiscard]] NodeId random_node(Rng& rng) const {
     assert(!live_.empty());
     return live_.at_index(rng.uniform(live_.size()));
+  }
+
+  /// `count` distinct live nodes drawn uniformly (Floyd's algorithm, O(count)
+  /// expected). Requires count <= the number of live nodes. The shared
+  /// victim picker of batched churn drivers and tests.
+  [[nodiscard]] std::vector<NodeId> sample_distinct_nodes(
+      Rng& rng, std::size_t count) const {
+    assert(count <= live_.size());
+    std::vector<NodeId> result;
+    result.reserve(count);
+    for (const std::size_t index : rng.sample_distinct(live_.size(), count)) {
+      result.push_back(live_.at_index(index));
+    }
+    return result;
   }
 
   /// Uniformly random *honest* live node (rejection sampling; cheap while

@@ -50,7 +50,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
 
   sample_now(0);
   for (std::size_t t = 1; t <= config.steps; ++t) {
-    adversary.step(system, t, driver_rng);
+    if (config.batch_ops > 0) {
+      // Joins always match leaves so the batch is size-neutral; on a tiny
+      // network the whole batch shrinks rather than going joins-heavy.
+      const std::size_t ops = std::min(
+          config.batch_ops,
+          system.num_nodes() > 2 ? system.num_nodes() - 2 : 0);
+      const std::vector<NodeId> victims =
+          system.state().sample_distinct_nodes(driver_rng, ops);
+      system.step_parallel(ops, victims,
+                           /*byzantine_joiners=*/false, config.shards);
+    } else {
+      adversary.step(system, t, driver_rng);
+    }
     if (t % config.sample_every == 0 || t == config.steps) sample_now(t);
   }
 

@@ -22,6 +22,15 @@ struct ScenarioConfig {
   std::size_t steps = 1000;
   std::size_t sample_every = 50;
   std::uint64_t seed = 42;
+
+  /// Batched churn mode: when batch_ops > 0 each time step performs
+  /// batch_ops joins plus batch_ops leaves of uniformly chosen live nodes
+  /// through NowSystem::step_parallel (sharded when shards > 1) instead of
+  /// delegating the step to the adversary — the high-throughput regime the
+  /// sharded engine exists for. Size holds constant; joiners are honest
+  /// (this mode stresses churn volume, not adversarial placement).
+  std::size_t batch_ops = 0;
+  std::size_t shards = 1;
 };
 
 struct InvariantSample {

@@ -144,6 +144,36 @@ TEST(MetricsInternTest, LabelsReflectOnlyCompletedOperations) {
   EXPECT_EQ(labels[0], "ran");
 }
 
+TEST(MetricsMergeTest, MergeFoldsTotalsAndSamples) {
+  Metrics shard;
+  {
+    OpScope s(shard, "join");
+    shard.add_messages(40);
+    shard.add_rounds(4);
+  }
+  {
+    OpScope s(shard, "exchange");
+    shard.add_messages(2);
+  }
+
+  Metrics main;
+  { OpScope s(main, "join"); main.add_messages(1); }
+  {
+    OpScope batch(main, "batch");
+    main.merge(shard);
+    // The merged total is charged into the open scope...
+    EXPECT_EQ(batch.cost().messages, 42u);
+    EXPECT_EQ(batch.cost().rounds, 4u);
+  }
+  // ... and the shard's completed samples land under the same labels,
+  // after the samples main already had.
+  EXPECT_EQ(main.operation_count("join"), 2u);
+  EXPECT_EQ(main.operation_count("exchange"), 1u);
+  EXPECT_EQ(main.operation_total("join").messages, 41u);
+  EXPECT_EQ(main.total().messages, 43u);
+  EXPECT_EQ(main.total().rounds, 4u);
+}
+
 TEST(CostTest, Arithmetic) {
   const Cost a{3, 1};
   const Cost b{4, 2};

@@ -162,6 +162,34 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 5);
 }
 
+TEST(RngTest, DeriveStreamIsAPureFunctionOfItsTriple) {
+  Rng a = Rng::derive_stream(9, 3, 7);
+  Rng b = Rng::derive_stream(9, 3, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DeriveStreamSeparatesNearbyTriples) {
+  // Streams for adjacent (batch, op) pairs must be unrelated — the sharded
+  // planner hands stream (batch, i) to operation i of every batch.
+  const std::vector<Rng> streams = {
+      Rng::derive_stream(1, 0, 0), Rng::derive_stream(1, 0, 1),
+      Rng::derive_stream(1, 1, 0), Rng::derive_stream(2, 0, 0)};
+  std::vector<std::vector<std::uint64_t>> draws;
+  for (Rng rng : streams) {
+    auto& seq = draws.emplace_back();
+    for (int i = 0; i < 100; ++i) seq.push_back(rng.next());
+  }
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    for (std::size_t j = i + 1; j < draws.size(); ++j) {
+      int equal = 0;
+      for (std::size_t k = 0; k < 100; ++k) {
+        equal += draws[i][k] == draws[j][k] ? 1 : 0;
+      }
+      EXPECT_LT(equal, 5) << "streams " << i << " and " << j;
+    }
+  }
+}
+
 TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
   std::uint64_t s1 = 0;
   std::uint64_t s2 = 0;

@@ -1,0 +1,184 @@
+// Tests for the sharded batch engine (DESIGN.md §7): the single-shard
+// equivalence guarantee (shard count never changes results, only wall
+// clock), the per-shard OpReport accounting, and the conflict-dropping
+// commit phase.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/now.hpp"
+
+namespace now::core {
+namespace {
+
+NowParams shard_params() {
+  NowParams p;
+  p.max_size = 1 << 12;
+  p.walk_mode = WalkMode::kSampleExact;
+  // Tests below assert the compromise invariant after every batch; at the
+  // default k = 3 a ~24-member cluster grazes 1/3 on unlucky seeds (the
+  // finite-size whp caveat the thm3/remark tests document), so scale k the
+  // way Lemma 1 prescribes.
+  p.k = 10;
+  p.tau = 0.10;
+  return p;
+}
+
+/// Distinct live victims drawn with `rng`; identical state + identical rng
+/// stream => identical victims, which the equivalence test relies on.
+std::vector<NodeId> pick_victims(const NowSystem& system, std::size_t count,
+                                 Rng& rng) {
+  return system.state().sample_distinct_nodes(rng, count);
+}
+
+/// Sorted (cluster id, size) pairs — the full partition signature.
+std::vector<std::pair<std::uint64_t, std::size_t>> partition_signature(
+    const NowSystem& system) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> sig;
+  for (const ClusterId id : system.state().cluster_ids()) {
+    sig.emplace_back(id.value(), system.state().cluster_at(id).size());
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+TEST(ShardTest, ShardCountDoesNotChangeResults) {
+  // Same seed, same batches: shards=1 and shards=4 must produce an
+  // IDENTICAL partition — same cluster ids, same sizes, same node homes —
+  // because plans depend only on the start-of-step snapshot and per-op
+  // derived RNG streams, and the commit applies them in operation order.
+  Metrics metrics_a;
+  Metrics metrics_b;
+  NowSystem a{shard_params(), metrics_a, 11};
+  NowSystem b{shard_params(), metrics_b, 11};
+  a.initialize(1200, 120, InitTopology::kModeledSparse);
+  b.initialize(1200, 120, InitTopology::kModeledSparse);
+  Rng victims_a{99};
+  Rng victims_b{99};
+
+  for (int round = 0; round < 4; ++round) {
+    const auto leaves_a = pick_victims(a, 10, victims_a);
+    const auto leaves_b = pick_victims(b, 10, victims_b);
+    ASSERT_EQ(leaves_a, leaves_b) << "diverged before round " << round;
+    const auto [joined_a, report_a] =
+        a.step_parallel_sharded(14, leaves_a, round % 2 == 0, 1);
+    const auto [joined_b, report_b] =
+        b.step_parallel_sharded(14, leaves_b, round % 2 == 0, 4);
+    EXPECT_EQ(joined_a, joined_b);
+    EXPECT_EQ(report_a.splits, report_b.splits);
+    EXPECT_EQ(report_a.merges, report_b.merges);
+    EXPECT_EQ(report_a.conflicts, report_b.conflicts);
+  }
+
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(partition_signature(a), partition_signature(b));
+  for (const NodeId node : a.state().live_nodes()) {
+    ASSERT_EQ(a.state().home_of(node), b.state().home_of(node));
+  }
+  EXPECT_TRUE(a.check().ok);
+  EXPECT_TRUE(b.check().ok);
+}
+
+TEST(ShardTest, ClusterSizeMultisetMatchesAcrossShardCounts) {
+  // The headline equivalence stated in DESIGN.md §7, on the multiset of
+  // cluster sizes (id-agnostic) after a heavier mixed run.
+  std::map<std::size_t, std::size_t> histogram[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    Metrics metrics;
+    NowSystem system{shard_params(), metrics, 23};
+    system.initialize(900, 90, InitTopology::kModeledSparse);
+    Rng victims{7};
+    for (int round = 0; round < 6; ++round) {
+      const auto leaves = pick_victims(system, 8, victims);
+      system.step_parallel_sharded(8, leaves, false,
+                                   variant == 0 ? 1 : 4);
+    }
+    for (const ClusterId id : system.state().cluster_ids()) {
+      histogram[variant][system.state().cluster_at(id).size()] += 1;
+    }
+    EXPECT_TRUE(system.check().ok);
+  }
+  EXPECT_EQ(histogram[0], histogram[1]);
+}
+
+TEST(ShardTest, PerShardCostsMergeIntoReport) {
+  Metrics metrics;
+  NowSystem system{shard_params(), metrics, 31};
+  system.initialize(1000, 100, InitTopology::kModeledSparse);
+  Rng victims{3};
+  const auto leaves = pick_victims(system, 9, victims);
+
+  const auto joins_before = metrics.operation_count("join");
+  const auto leaves_before = metrics.operation_count("leave");
+  const auto [joined, report] =
+      system.step_parallel_sharded(9, leaves, false, 3);
+  ASSERT_EQ(joined.size(), 9u);
+
+  // One planning-cost entry per shard; every planned message is accounted
+  // exactly once: batch cost = sum of shard costs + the sequential commit.
+  ASSERT_EQ(report.shard_costs.size(), 3u);
+  std::uint64_t planned_messages = 0;
+  for (const Cost& shard : report.shard_costs) {
+    EXPECT_GT(shard.messages, 0u);
+    planned_messages += shard.messages;
+  }
+  EXPECT_EQ(report.cost.messages,
+            planned_messages + report.commit_cost.messages);
+
+  // Per-operation samples from the shard-local Metrics instances were
+  // merged back under the standard labels.
+  EXPECT_EQ(metrics.operation_count("join"), joins_before + 9);
+  EXPECT_EQ(metrics.operation_count("leave"), leaves_before + 9);
+
+  // Rounds combine by max over the overlapped operations plus the deferred
+  // commit restructuring — never the sum of all per-op rounds.
+  const auto join_samples = metrics.operation_samples("join");
+  std::uint64_t sum_rounds = 0;
+  for (auto it = join_samples.end() - 9; it != join_samples.end(); ++it) {
+    sum_rounds += it->rounds;
+  }
+  EXPECT_GT(report.cost.rounds, 0u);
+  EXPECT_LT(report.cost.rounds, sum_rounds + report.commit_cost.rounds + 1);
+}
+
+TEST(ShardTest, ShardedBatchConservesNodesAndInvariants) {
+  Metrics metrics;
+  NowSystem system{shard_params(), metrics, 41};
+  system.initialize(800, 120, InitTopology::kModeledSparse);
+  Rng victims{13};
+  std::size_t expected = 800;
+  for (int round = 0; round < 5; ++round) {
+    const auto leaves = pick_victims(system, 6, victims);
+    const auto [joined, report] =
+        system.step_parallel_sharded(11, leaves, false, 4);
+    EXPECT_EQ(joined.size(), 11u);
+    expected += 11 - 6;
+    ASSERT_EQ(system.num_nodes(), expected);
+    const auto inv = system.check();
+    ASSERT_TRUE(inv.ok) << (inv.violations.empty() ? ""
+                                                   : inv.violations[0]);
+  }
+}
+
+TEST(ShardTest, LegacyPathIsUntouchedByDefault) {
+  // step_parallel with shards<=1 must keep using the historical sequential
+  // engine and the system RNG stream: identical to a plain join/leave loop.
+  Metrics metrics_batch;
+  Metrics metrics_loop;
+  NowSystem batch{shard_params(), metrics_batch, 55};
+  NowSystem loop{shard_params(), metrics_loop, 55};
+  batch.initialize(600, 60, InitTopology::kModeledSparse);
+  loop.initialize(600, 60, InitTopology::kModeledSparse);
+
+  const auto [joined, report] = batch.step_parallel(5, {});
+  (void)report;
+  for (int i = 0; i < 5; ++i) loop.join(false);
+
+  ASSERT_EQ(joined.size(), 5u);
+  EXPECT_EQ(partition_signature(batch), partition_signature(loop));
+}
+
+}  // namespace
+}  // namespace now::core

@@ -128,5 +128,27 @@ TEST(ScenarioTest, NoShuffleBaselineFallsToTheSameAttack) {
       << "no-shuffle baseline unexpectedly survived the join-leave attack";
 }
 
+TEST(ScenarioTest, BatchedShardedChurnHoldsInvariants) {
+  // The high-throughput regime: every step is a batch of 8 joins + 8
+  // leaves through the sharded engine. Invariants must survive exactly as
+  // under one-op-per-step churn (k scaled as in the core sharding tests).
+  auto config = base_config();
+  config.params.k = 10;
+  config.steps = 40;
+  config.sample_every = 5;
+  config.batch_ops = 8;
+  config.shards = 4;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised);
+  EXPECT_EQ(result.final_nodes, 400u);  // batches are size-neutral
+  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+  for (const auto& s : result.samples) {
+    EXPECT_TRUE(s.overlay_connected) << "step " << s.step;
+  }
+}
+
 }  // namespace
 }  // namespace now::sim
