@@ -28,7 +28,7 @@ void run_shards_axis(bench::JsonEmitter& json,
   std::cout << "\nSharded batch stepping (n = " << kNodes << ", batch = "
             << kBatch << " joins + " << kBatch << " leaves):\n";
   sim::Table table({"shards", "engine", "mean_batch_msgs", "batch_rounds",
-                    "wall_us_per_pair"});
+                    "waves", "wall_us_per_pair"});
   for (const std::size_t shards : shard_axis) {
     core::NowParams params;
     params.max_size = 1 << 16;
@@ -40,6 +40,7 @@ void run_shards_axis(bench::JsonEmitter& json,
     Rng victims_rng{5};
     double messages = 0;
     double rounds = 0;
+    double waves = 0;
     double wall_ns = 0;
     for (int step = 0; step < kSteps; ++step) {
       const std::vector<NodeId> victims =
@@ -52,17 +53,25 @@ void run_shards_axis(bench::JsonEmitter& json,
       });
       messages += static_cast<double>(report.cost.messages);
       rounds += static_cast<double>(report.cost.rounds);
+      waves += static_cast<double>(report.wave_count);
     }
     messages /= kSteps;
     rounds /= kSteps;
+    waves /= kSteps;
     const double per_pair = wall_ns / (kSteps * kBatch);
     table.add_row({sim::Table::fmt(std::uint64_t{shards}),
                    shards <= 1 ? "sequential" : "sharded",
                    sim::Table::fmt(messages, 0), sim::Table::fmt(rounds, 0),
+                   sim::Table::fmt(waves, 0),
                    sim::Table::fmt(per_pair / 1000.0, 1)});
     std::ostringstream op;
     op << "batch[shards=" << shards << "]";
     json.add(op.str(), kNodes, messages, rounds, per_pair);
+    // The wave scheduler's dedup quantity: exchange waves per batch (the
+    // sequential engine reports 0 — it exchanges per operation instead).
+    std::ostringstream wave_op;
+    wave_op << "wave_count[shards=" << shards << "]";
+    json.add_scalar(wave_op.str(), kNodes, waves);
   }
   table.print(std::cout);
 }

@@ -186,6 +186,9 @@ void BM_JoinLeaveCycle(benchmark::State& state) {
     }
     return;
   }
+  double commit_ns = 0;
+  double wave_count = 0;
+  std::size_t batches = 0;
   for (auto _ : state) {
     const auto start = std::chrono::steady_clock::now();
     const auto [joined, up] =
@@ -198,6 +201,17 @@ void BM_JoinLeaveCycle(benchmark::State& state) {
                                       start)
             .count() /
         static_cast<double>(kShardedBatch));
+    commit_ns += static_cast<double>(up.commit_ns + down.commit_ns);
+    wave_count += static_cast<double>(up.wave_count + down.wave_count);
+    batches += 2;
+  }
+  // Commit-phase scalar rows of BENCH_micro.json: mean wall-ns of the
+  // two-stage commit and mean exchange waves the wave scheduler ran, per
+  // batch — the trajectory that tracks the sequential->parallel commit win
+  // separately from whole-step time.
+  if (batches > 0) {
+    state.counters["commit_ns"] = commit_ns / static_cast<double>(batches);
+    state.counters["wave_count"] = wave_count / static_cast<double>(batches);
   }
 }
 BENCHMARK(BM_JoinLeaveCycle)

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <vector>
 
 #include "common/node_set.hpp"
@@ -40,6 +41,34 @@ class Cluster {
     const auto it = std::lower_bound(members_.begin(), members_.end(), node);
     assert(it != members_.end() && *it == node && "member not present");
     members_.erase(it);
+  }
+
+  /// Bulk membership update in one merge pass: drops `removals` and splices
+  /// in `additions` (both sorted; removals must all be present, additions
+  /// all absent). O(|members| + |edits|) where one add/remove_member call
+  /// each is O(|members|) — the batch commit applies a cluster's whole
+  /// step's worth of edits through this. `scratch` is the caller's reusable
+  /// buffer (capacity persists across calls, contents ignored).
+  void apply_sorted_edits(std::span<const NodeId> removals,
+                          std::span<const NodeId> additions,
+                          std::vector<NodeId>& scratch) {
+    scratch.clear();
+    scratch.reserve(members_.size() - removals.size() + additions.size());
+    auto removal = removals.begin();
+    auto addition = additions.begin();
+    for (const NodeId m : members_) {
+      while (addition != additions.end() && *addition < m) {
+        scratch.push_back(*addition++);
+      }
+      if (removal != removals.end() && *removal == m) {
+        ++removal;
+        continue;
+      }
+      scratch.push_back(m);
+    }
+    assert(removal == removals.end() && "removal of a non-member");
+    while (addition != additions.end()) scratch.push_back(*addition++);
+    members_.swap(scratch);
   }
 
   /// Member at sorted position `index` (used with randNum for uniform picks).

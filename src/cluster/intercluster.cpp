@@ -9,6 +9,13 @@ Cost cluster_send_cost(std::size_t from_size, std::size_t to_size,
               1};
 }
 
+std::uint64_t cluster_send_charge(std::size_t from_size, std::size_t to_size,
+                                  std::uint64_t units, Metrics& metrics) {
+  const Cost cost = cluster_send_cost(from_size, to_size, units);
+  metrics.add_messages(cost.messages);
+  return cost.rounds;
+}
+
 ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,
                                 std::uint64_t units,
                                 const NodeSet& byzantine,

@@ -32,6 +32,15 @@ struct ClusterSendOutcome {
 [[nodiscard]] Cost cluster_send_cost(std::size_t from_size,
                                      std::size_t to_size, std::uint64_t units);
 
+/// Cost-only send: charges the messages of one logical cluster-to-cluster
+/// message to `metrics` and returns its round count, without evaluating the
+/// majority rule. For planners that never consume the outcome — the sharded
+/// engine's exchange waves charge their partner notices through this — the
+/// charges are identical to cluster_send's (tests assert it), so swapping
+/// one for the other never moves a cost trajectory.
+std::uint64_t cluster_send_charge(std::size_t from_size, std::size_t to_size,
+                                  std::uint64_t units, Metrics& metrics);
+
 /// Performs one logical message from `from` to `to`: charges the messages to
 /// `metrics` and reports acceptance under the > 1/2 rule.
 ClusterSendOutcome cluster_send(const Cluster& from, const Cluster& to,

@@ -5,11 +5,18 @@
 // probability |C| / n is one uniform draw plus an O(log k) descend instead of
 // the O(k) linear scan the ordered-map state needed. Point updates (a member
 // joining/leaving a cluster) are O(log k).
+//
+// The sharded batch commit (DESIGN.md §7) accumulates per-shard signed
+// deltas off-thread and folds them in afterwards through apply_deltas, which
+// picks between point updates and one O(k) rebuild — the tree itself is
+// never written concurrently.
 #pragma once
 
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace now {
@@ -49,6 +56,35 @@ class FenwickTree {
     for (std::size_t i = index + 1; i <= values_.size(); i += i & (~i + 1)) {
       tree_[i] -= delta;
     }
+  }
+
+  /// Folds a batch of signed point deltas (distinct or repeated indices; a
+  /// net-negative delta must not underflow its entry). Small batches take
+  /// the O(log k) point-update path; once the batch is large enough that
+  /// point updates would cost more than rebuilding, the whole prefix-sum
+  /// tree is rebuilt in one O(k) pass — the merge step of the sharded batch
+  /// commit, where every shard's delta array lands here at once.
+  void apply_deltas(
+      std::span<const std::pair<std::size_t, std::int64_t>> deltas) {
+    const std::size_t logk =
+        std::bit_width(values_.size() | std::size_t{1});
+    if (deltas.size() * logk < values_.size()) {
+      for (const auto& [index, delta] : deltas) {
+        if (delta >= 0) {
+          add(index, static_cast<std::uint64_t>(delta));
+        } else {
+          subtract(index, static_cast<std::uint64_t>(-delta));
+        }
+      }
+      return;
+    }
+    for (const auto& [index, delta] : deltas) {
+      assert(index < values_.size());
+      assert(delta >= 0 ||
+             values_[index] >= static_cast<std::uint64_t>(-delta));
+      values_[index] += static_cast<std::uint64_t>(delta);  // wraps as signed
+    }
+    rebuild();
   }
 
   /// Sum of values at indices [0, count).

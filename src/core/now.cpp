@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "agreement/discovery.hpp"
@@ -48,17 +51,20 @@ over::OverParams make_over_params(const NowParams& p) {
 
 // ------------------------------------------------------- sharded batch plan
 //
-// The sharded engine splits every batch operation into a PLAN phase (random
-// decisions + cost accounting against the frozen start-of-step state; runs
-// concurrently, one shard per thread, each op on its own derived RNG stream)
-// and a COMMIT phase (membership mutations + deferred splits/merges; runs
-// sequentially in canonical operation order). Plans never touch NowState
+// The sharded engine splits every batch into a PLAN phase (random decisions
+// + cost accounting against the frozen start-of-step state; runs
+// concurrently, one shard per thread, each operation and each exchange wave
+// on its own derived RNG stream) and a two-stage COMMIT phase (a sequential
+// resolve pass orders every membership move canonically, stage 1 applies
+// the per-cluster edits shard-parallel, stage 2 merges size deltas and runs
+// the deferred splits/merges sequentially). Plans never touch NowState
 // non-const — everything they decide is recorded here.
 
 /// One exchange swap decided during planning: x (member of `from`) trades
-/// places with y (member of `to`). Applied at commit iff both nodes still
-/// live where the plan saw them; otherwise the swap is dropped as a
-/// cross-shard conflict.
+/// places with y (member of `to`). Applied at commit iff both nodes are
+/// still live; stale endpoints are re-resolved at their current homes and
+/// the swap is dropped as a conflict only when an endpoint left in this
+/// batch or both collapsed into one cluster.
 struct PendingSwap {
   NodeId x;
   ClusterId from;
@@ -71,7 +77,23 @@ struct PlannedOp {
   NodeId node;                              // joiner or leaver
   ClusterId target = ClusterId::invalid();  // join target / leave home
   std::uint64_t rounds = 0;                 // op critical path
+};
+
+/// One scheduled exchange wave (DESIGN.md §7): cluster `cluster` shuffles
+/// all of its snapshot members once this time step, however many batch
+/// operations touched it. Waves are collected in canonical order (first
+/// touch by operation order; secondaries in partner order of their primary)
+/// so their RNG streams, and therefore the committed state, are independent
+/// of the shard count.
+struct PlannedWave {
+  ClusterId cluster = ClusterId::invalid();
+  /// Substream index: derive_stream(seed, batch, stream) — canonical.
+  std::uint64_t stream = 0;
+  /// A leave touched this cluster, so its partners get secondary waves.
+  bool from_leave = false;
+  std::uint64_t rounds = 0;
   std::vector<PendingSwap> swaps;
+  std::vector<ClusterId> partners;
 };
 
 /// Aggregates of the frozen snapshot, computed once per batch and shared
@@ -79,11 +101,41 @@ struct PlannedOp {
 /// these on every swap because each swap mutates the state; the plan phase
 /// reads an immutable snapshot, which is where the single-core speedup of
 /// the sharded engine comes from (the thread pool stacks on top of it).
+///
+/// Clusters are addressed by their DENSE INDEX in the snapshot's
+/// cluster_ids() order: the wave planners draw partner clusters tens of
+/// thousands of times per batch, and flat arrays indexed by a dense id keep
+/// each draw to a couple of cache lines where the live-state accessors
+/// (paged slot lookup + slot table + Fenwick descend) are chains of
+/// dependent misses.
 struct PlanCache {
   /// Sum of neighbor-cluster sizes, keyed by cluster slot.
   std::vector<std::uint64_t> neighborhood_by_slot;
   /// Modeled kSampleExact walk (cluster unset); invalid under kSimulate.
   RandClResult walk;
+
+  // Dense snapshot tables, indexed by position in cluster_ids() order.
+  std::vector<ClusterId> id_by_index;
+  std::vector<const cluster::Cluster*> cluster_by_index;
+  std::vector<std::uint64_t> neighborhood_by_index;
+  /// Dense index of a live cluster, keyed by slot.
+  std::vector<std::uint32_t> index_by_slot;
+
+  // Exact integer alias table (Vose) over the dense indices with weights
+  // |C|: a size-biased draw is two uniform draws + two array loads, O(1),
+  // against the O(log k) Fenwick descend of the live-state sampler. The
+  // scaled weights are integers throughout, so the law is exactly |C| / n —
+  // the same distribution random_cluster_size_biased realizes.
+  std::vector<std::uint64_t> alias_threshold;
+  std::vector<std::uint32_t> alias_index;
+  std::uint64_t total_weight = 0;
+
+  /// Dense index drawn with probability |C| / n.
+  [[nodiscard]] std::size_t draw_biased(Rng& rng) const {
+    const std::size_t column = rng.uniform(alias_threshold.size());
+    const std::uint64_t toss = rng.uniform(total_weight);
+    return toss < alias_threshold[column] ? column : alias_index[column];
+  }
 
   [[nodiscard]] std::uint64_t neighborhood(const NowState& state,
                                            ClusterId c) const {
@@ -93,22 +145,64 @@ struct PlanCache {
 
 PlanCache build_plan_cache(const NowState& state, const NowParams& params) {
   PlanCache cache;
+  const std::size_t k = state.num_clusters();
+  cache.id_by_index.reserve(k);
+  cache.cluster_by_index.reserve(k);
+  cache.neighborhood_by_index.reserve(k);
+  cache.index_by_slot.resize(state.slot_count(), 0);
+  std::vector<std::uint64_t> scaled(k);  // |C| * k, summing to n * k
   for (const ClusterId c : state.cluster_ids()) {
     const std::size_t slot = state.slot_index(c);
     if (cache.neighborhood_by_slot.size() <= slot) {
       cache.neighborhood_by_slot.resize(slot + 1, 0);
     }
-    cache.neighborhood_by_slot[slot] = neighborhood_population(state, c);
+    const std::uint64_t neighborhood = neighborhood_population(state, c);
+    cache.neighborhood_by_slot[slot] = neighborhood;
+    const std::size_t index = cache.id_by_index.size();
+    cache.index_by_slot[slot] = static_cast<std::uint32_t>(index);
+    cache.id_by_index.push_back(c);
+    cache.cluster_by_index.push_back(&state.cluster_at(c));
+    cache.neighborhood_by_index.push_back(neighborhood);
+    const std::uint64_t size = state.cluster_at(c).size();
+    scaled[index] = size * k;
+    cache.total_weight += size;
   }
+  // Vose construction on integer weights: every column ends with a
+  // threshold in [0, W] and one alias; exactness needs no floating point.
+  const std::uint64_t w = cache.total_weight;
+  cache.alias_threshold.assign(k, w);
+  cache.alias_index.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    cache.alias_index[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < w ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    cache.alias_threshold[s] = scaled[s];
+    cache.alias_index[s] = l;
+    scaled[l] -= w - scaled[s];
+    (scaled[l] < w ? small : large).push_back(l);
+  }
+  // Leftover columns (all weight variance consumed) keep threshold = W.
+
   if (params.walk_mode == WalkMode::kSampleExact) {
     cache.walk = rand_cl_cost_model(state, params);
   }
   return cache;
 }
 
-/// randCl against the snapshot. kSampleExact: the endpoint draw plus the
-/// cached modeled cost (identical charges to run_rand_cl, minus the per-call
-/// cost-model recomputation). kSimulate walks hop by hop as usual.
+/// randCl against the snapshot. kSampleExact: the endpoint draw (via the
+/// cache's O(1) alias sampler — same |C|/n law as the live-state Fenwick
+/// draw) plus the cached modeled cost (identical charges to run_rand_cl,
+/// minus the per-call cost-model recomputation). kSimulate walks hop by hop
+/// as usual.
 RandClResult plan_rand_cl(const NowState& state, const NowParams& params,
                           ClusterId start, const PlanCache& cache,
                           Metrics& metrics, Rng& rng) {
@@ -116,79 +210,94 @@ RandClResult plan_rand_cl(const NowState& state, const NowParams& params,
     return run_rand_cl(state, params, start, metrics, rng);
   }
   RandClResult result = cache.walk;
-  result.cluster = state.random_cluster_size_biased(rng);
+  result.cluster = cache.id_by_index[cache.draw_biased(rng)];
   metrics.add_messages(result.cost.messages);
   return result;
 }
 
-/// Cost-only cluster-to-cluster notice: exchange planning never consumes the
-/// majority-rule outcome, so the per-call Byzantine count is skipped; the
-/// charged messages and the round are identical to cluster_send.
-std::uint64_t charge_cluster_send(std::size_t from_size, std::size_t to_size,
-                                  Metrics& metrics) {
-  const Cost cost = cluster::cluster_send_cost(from_size, to_size, 1);
-  metrics.add_messages(cost.messages);
-  return cost.rounds;
-}
-
-/// Plans exchange_all(c) against the snapshot: the same walk / notice /
-/// draw / broadcast cost sequence as the sequential version, but the
-/// membership swaps are recorded instead of applied. `skip` excludes the
-/// departing node of a leave. Returns the exchange's parallel round count.
-std::uint64_t plan_exchange(const NowState& state, const NowParams& params,
-                            ClusterId c, NodeId skip, const PlanCache& cache,
-                            Metrics& metrics, Rng& rng,
-                            std::vector<PendingSwap>& swaps,
-                            std::vector<ClusterId>* partners_out) {
+/// Plans one exchange wave for `wave.cluster` against the snapshot: the same
+/// walk / notice / draw / broadcast cost sequence as the sequential
+/// exchange_all, but the membership swaps are recorded instead of applied.
+/// `skips` excludes the batch's departing nodes homed in this cluster (a
+/// leaver must not be shuffled onward). Partner notices are charged through
+/// cluster::cluster_send_charge — planning never consumes the majority-rule
+/// outcome, so the per-call Byzantine count is skipped while the charged
+/// cost stays identical to cluster_send's.
+void plan_wave(const NowState& state, const NowParams& params,
+               PlannedWave& wave, std::span<const NodeId> skips,
+               const PlanCache& cache, Metrics& metrics, Rng& rng) {
   OpScope scope(metrics, "exchange");
+  const ClusterId c = wave.cluster;
+  const std::size_t c_index = cache.index_by_slot[state.slot_index(c)];
   std::uint64_t rounds_max = 0;
-  std::vector<ClusterId> partners;
-  const std::size_t c_size = state.cluster_at(c).size();
-  const std::uint64_t c_neighborhood = cache.neighborhood(state, c);
-  const std::vector<NodeId>& snapshot = state.cluster_at(c).members();
+  const std::size_t c_size = cache.cluster_by_index[c_index]->size();
+  const std::uint64_t c_neighborhood = cache.neighborhood_by_index[c_index];
+  const std::vector<NodeId>& snapshot =
+      cache.cluster_by_index[c_index]->members();
+  const bool sampled = params.walk_mode == WalkMode::kSampleExact;
   for (const NodeId x : snapshot) {
-    if (x == skip) continue;
-    ClusterId partner = c;
+    if (std::find(skips.begin(), skips.end(), x) != skips.end()) continue;
+    // Pick the counterpart cluster with randCl (law |C'|/n); a walk landing
+    // back home is re-run (bounded retries). The sampled mode draws through
+    // the cache's O(1) alias table and charges the modeled walk cost; the
+    // simulated mode runs the message-level walk against the snapshot.
+    std::size_t partner_index = c_index;
     std::uint64_t chain_rounds = 0;
-    for (int attempt = 0; attempt < 8 && partner == c; ++attempt) {
-      const auto walk = plan_rand_cl(state, params, c, cache, metrics, rng);
-      chain_rounds += walk.cost.rounds;
-      partner = walk.cluster;
-    }
-    if (partner != c) {
-      if (std::find(partners.begin(), partners.end(), partner) ==
-          partners.end()) {
-        partners.push_back(partner);
+    for (int attempt = 0; attempt < 8 && partner_index == c_index;
+         ++attempt) {
+      if (sampled) {
+        partner_index = cache.draw_biased(rng);
+        metrics.add_messages(cache.walk.cost.messages);
+        chain_rounds += cache.walk.cost.rounds;
+      } else {
+        const auto walk = run_rand_cl(state, params, c, metrics, rng);
+        partner_index = cache.index_by_slot[state.slot_index(walk.cluster)];
+        chain_rounds += walk.cost.rounds;
       }
-      const auto& to = state.cluster_at(partner);
-      chain_rounds += charge_cluster_send(c_size, to.size(), metrics);
+    }
+    if (partner_index != c_index) {
+      const ClusterId partner = cache.id_by_index[partner_index];
+      if (std::find(wave.partners.begin(), wave.partners.end(), partner) ==
+          wave.partners.end()) {
+        wave.partners.push_back(partner);
+      }
+      const cluster::Cluster& to = *cache.cluster_by_index[partner_index];
+      const std::uint64_t to_size = to.size();
+      chain_rounds +=
+          cluster::cluster_send_charge(c_size, to.size(), 1, metrics);
       const auto draw = cluster::rand_num_value(
           to.size(), to.size(), params.rand_num_mode, metrics, rng);
       chain_rounds += draw.cost.rounds;
-      swaps.push_back(PendingSwap{x, c, to.member_at(draw.value), partner});
+      wave.swaps.push_back(
+          PendingSwap{x, c, to.member_at(draw.value), partner});
+      // One coalesced charge: the x <-> y handoff (2 units each way), the
+      // composition deltas to both neighborhoods (2 units) and the overlay
+      // info the newcomers receive — identical units to the sequential
+      // exchange_all, in one Metrics call.
+      const std::uint64_t p_neighborhood =
+          cache.neighborhood_by_index[partner_index];
       const std::uint64_t handoff_units =
-          static_cast<std::uint64_t>(c_size) +
-          static_cast<std::uint64_t>(to.size());
-      metrics.add_messages(2 * handoff_units);
-      const std::uint64_t p_neighborhood = cache.neighborhood(state, partner);
-      metrics.add_messages(2 * (c_size * c_neighborhood +
-                                to.size() * p_neighborhood));
-      chain_rounds += 1;
+          static_cast<std::uint64_t>(c_size) + to_size;
       const std::uint64_t c_info = c_size + c_neighborhood;
-      const std::uint64_t p_info = to.size() + p_neighborhood;
-      metrics.add_messages(c_info * c_size + p_info * to.size());
-      chain_rounds += 1;
+      const std::uint64_t p_info = to_size + p_neighborhood;
+      metrics.add_messages(2 * handoff_units +
+                           2 * (c_size * c_neighborhood +
+                                to_size * p_neighborhood) +
+                           c_info * c_size + p_info * to_size);
+      chain_rounds += 2;
     }
     rounds_max = std::max(rounds_max, chain_rounds);
   }
-  if (partners_out != nullptr) *partners_out = std::move(partners);
-  return rounds_max;
+  wave.rounds = rounds_max;
+  metrics.add_rounds(rounds_max);
 }
 
 /// Plans Algorithm 1 for a fresh node. Mirrors NowSystem::place_node except
 /// that the joiner is absent from the snapshot, so it does not take part in
-/// the induced exchange (it is shuffled from its next operation onward) and
-/// the induced split is deferred to commit.
+/// the induced exchange (it is shuffled from its next operation onward),
+/// the induced exchange itself is scheduled by the wave scheduler (one wave
+/// per touched cluster per time step) and the induced split is deferred to
+/// commit.
 PlannedOp plan_join(const NowState& state, const NowParams& params,
                     NodeId node, const PlanCache& cache, Metrics& metrics,
                     Rng& rng) {
@@ -211,42 +320,29 @@ PlannedOp plan_join(const NowState& state, const NowParams& params,
                         static_cast<std::uint64_t>(walk.hops)));
   rounds += 2;
 
-  if (params.shuffle_enabled) {
-    rounds += plan_exchange(state, params, op.target, NodeId::invalid(),
-                            cache, metrics, rng, op.swaps, nullptr);
-  }
   op.rounds = rounds;
   metrics.add_rounds(rounds);
   return op;
 }
 
-/// Plans Algorithm 2 for `node`. The induced merge is deferred to commit.
+/// Plans Algorithm 2 for `node`. The induced exchange wave (plus the
+/// secondary waves of its partners) is scheduled by the wave scheduler; the
+/// induced merge is deferred to commit.
 PlannedOp plan_leave(const NowState& state, const NowParams& params,
                      NodeId node, const PlanCache& cache, Metrics& metrics,
                      Rng& rng) {
+  // The leave itself is deterministic: its random decisions all live in the
+  // exchange wave the scheduler plans separately (on the wave's stream).
+  (void)params;
+  (void)rng;
   OpScope scope(metrics, "leave");
   PlannedOp op;
   op.node = node;
   op.target = state.home_of(node);
   metrics.add_messages(state.cluster_at(op.target).size() *
                        cache.neighborhood(state, op.target));  // drop x
-  std::uint64_t rounds = 1;
-
-  if (params.shuffle_enabled && state.cluster_at(op.target).size() > 1) {
-    std::vector<ClusterId> partners;
-    rounds += plan_exchange(state, params, op.target, node, cache, metrics,
-                            rng, op.swaps, &partners);
-    std::uint64_t secondary_max = 0;
-    for (const ClusterId partner : partners) {
-      secondary_max = std::max(
-          secondary_max,
-          plan_exchange(state, params, partner, NodeId::invalid(), cache,
-                        metrics, rng, op.swaps, nullptr));
-    }
-    rounds += secondary_max;
-  }
-  op.rounds = rounds;
-  metrics.add_rounds(rounds);
+  op.rounds = 1;
+  metrics.add_rounds(op.rounds);
   return op;
 }
 
@@ -435,19 +531,28 @@ ThreadPool& NowSystem::pool_for(std::size_t shards) {
 std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
     std::size_t joins, const std::vector<NodeId>& leaves,
     bool byzantine_joiners, std::size_t shards) {
+  return step_parallel_mixed(joins, byzantine_joiners ? joins : 0, leaves,
+                             shards);
+}
+
+std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
+    std::size_t joins, std::size_t byzantine_joins,
+    const std::vector<NodeId>& leaves, std::size_t shards) {
   assert(initialized_);
+  assert(byzantine_joins <= joins);
   shards = std::max<std::size_t>(1, shards);
   OpScope scope(metrics_, "batch");
   OpReport combined;
   const std::uint64_t batch_id = batch_counter_++;
 
-  // --- Sequential setup: allocate joiner identities and corrupt them, so
-  // ids and the Byzantine ground truth are independent of the shard count.
+  // --- Sequential setup: allocate joiner identities and corrupt the first
+  // byzantine_joins of them, so ids and the Byzantine ground truth are
+  // independent of the shard count.
   std::vector<NodeId> joined;
   joined.reserve(joins);
   for (std::size_t i = 0; i < joins; ++i) {
     const NodeId node = state_.fresh_node_id();
-    if (byzantine_joiners) state_.byzantine.insert(node);
+    if (i < byzantine_joins) state_.byzantine.insert(node);
     state_.register_node(node);
     joined.push_back(node);
   }
@@ -455,10 +560,13 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
   // --- Partition: leaves by home-cluster slot, joins (homeless until their
   // walk lands) round-robin. The assignment balances work; it can never
   // change results because plans read only the snapshot + their own stream.
+  // Leavers are also grouped by home slot: their cluster's wave must not
+  // shuffle a departing node onward.
   const std::size_t total_ops = joins + leaves.size();
   std::vector<PlannedOp> ops(total_ops);
   std::vector<Metrics> shard_metrics(shards);
   std::vector<std::vector<std::size_t>> assignment(shards);
+  std::vector<std::vector<NodeId>> leavers_by_slot(state_.slot_count());
   for (std::size_t i = 0; i < joins; ++i) {
     assignment[i % shards].push_back(i);
   }
@@ -466,6 +574,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
     assert(state_.is_placed(leaves[j]) && "leave of an unplaced node");
     const std::size_t slot = state_.slot_index(state_.home_of(leaves[j]));
     assignment[slot % shards].push_back(joins + j);
+    leavers_by_slot[slot].push_back(leaves[j]);
   }
 
   // --- Parallel planning against the frozen snapshot. NowState is only
@@ -473,7 +582,8 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
   // snapshot aggregates every plan would otherwise recompute per swap.
   const NowState& snapshot = state_;
   const PlanCache cache = build_plan_cache(snapshot, params_);
-  pool_for(shards).parallel_for(shards, [&](std::size_t s) {
+  ThreadPool& pool = pool_for(shards);
+  pool.parallel_for(shards, [&](std::size_t s) {
     for (const std::size_t index : assignment[s]) {
       Rng op_rng = Rng::derive_stream(seed_, batch_id, index);
       if (index < joins) {
@@ -486,8 +596,89 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
     }
   });
 
+  // --- Wave scheduler, tier 1: one primary exchange wave per cluster the
+  // batch touched (join target or leave home), however many operations
+  // landed on it — the paper's semantics, a cluster exchanges all of its
+  // nodes once per time step. First-touch operation order makes the wave
+  // list and the per-wave RNG streams (numbered after the operations)
+  // canonical, i.e. independent of the shard count.
+  std::vector<PlannedWave> primaries;
+  std::vector<std::size_t> wave_of_slot(state_.slot_count(),
+                                        static_cast<std::size_t>(-1));
+  if (params_.shuffle_enabled) {
+    for (const PlannedOp& op : ops) {
+      const std::size_t slot = state_.slot_index(op.target);
+      if (wave_of_slot[slot] == static_cast<std::size_t>(-1)) {
+        // A cluster whose every snapshot member is leaving has nobody left
+        // to shuffle; skip its wave (mirrors the sequential engine's
+        // size > 1 guard on the post-removal exchange).
+        if (snapshot.cluster_at(op.target).size() <=
+            leavers_by_slot[slot].size()) {
+          continue;
+        }
+        wave_of_slot[slot] = primaries.size();
+        PlannedWave wave;
+        wave.cluster = op.target;
+        wave.stream = static_cast<std::uint64_t>(total_ops) +
+                      static_cast<std::uint64_t>(primaries.size());
+        primaries.push_back(std::move(wave));
+      }
+      if (!op.is_join && wave_of_slot[slot] != static_cast<std::size_t>(-1)) {
+        primaries[wave_of_slot[slot]].from_leave = true;
+      }
+    }
+  }
+  pool.parallel_for(shards, [&](std::size_t s) {
+    for (PlannedWave& wave : primaries) {
+      const std::size_t slot = state_.slot_index(wave.cluster);
+      if (slot % shards != s) continue;
+      Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
+      plan_wave(snapshot, params_, wave, leavers_by_slot[slot], cache,
+                shard_metrics[s], wave_rng);
+    }
+  });
+
+  // --- Wave scheduler, tier 2: every cluster that swapped with a
+  // leave-induced primary wave exchanges all of its own nodes too (Theorem
+  // 3's proof relies on this second wave), but again at most once per time
+  // step — clusters already shuffled by a primary wave, or named by several
+  // primaries, are not re-shuffled.
+  std::vector<PlannedWave> secondaries;
+  for (const PlannedWave& primary : primaries) {
+    if (!primary.from_leave) continue;
+    for (const ClusterId partner : primary.partners) {
+      const std::size_t slot = state_.slot_index(partner);
+      if (wave_of_slot[slot] != static_cast<std::size_t>(-1)) continue;
+      // A partner can carry leavers only when its own primary wave was
+      // skipped because everyone is leaving — nobody to shuffle, so no
+      // secondary either (a partial-leaver cluster always has a primary).
+      if (snapshot.cluster_at(partner).size() <=
+          leavers_by_slot[slot].size()) {
+        continue;
+      }
+      wave_of_slot[slot] = primaries.size() + secondaries.size();
+      PlannedWave wave;
+      wave.cluster = partner;
+      wave.stream = static_cast<std::uint64_t>(total_ops) +
+                    static_cast<std::uint64_t>(primaries.size()) +
+                    static_cast<std::uint64_t>(secondaries.size());
+      secondaries.push_back(std::move(wave));
+    }
+  }
+  pool.parallel_for(shards, [&](std::size_t s) {
+    for (PlannedWave& wave : secondaries) {
+      const std::size_t slot = state_.slot_index(wave.cluster);
+      if (slot % shards != s) continue;
+      Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
+      plan_wave(snapshot, params_, wave, leavers_by_slot[slot], cache,
+                shard_metrics[s], wave_rng);
+    }
+  });
+  combined.wave_count = primaries.size() + secondaries.size();
+
   // --- Merge per-shard accounting into the caller's Metrics (inside the
-  // open "batch" scope) and combine rounds by max across operations.
+  // open "batch" scope). Rounds: operations overlap in time (max), the two
+  // wave tiers run after them (each tier internally parallel, so max again).
   std::uint64_t rounds_max = 0;
   for (auto& shard : shard_metrics) {
     combined.shard_costs.push_back(shard.total());
@@ -496,50 +687,115 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
   for (const PlannedOp& op : ops) {
     rounds_max = std::max(rounds_max, op.rounds);
   }
+  std::uint64_t primary_rounds = 0;
+  for (const PlannedWave& wave : primaries) {
+    primary_rounds = std::max(primary_rounds, wave.rounds);
+  }
+  std::uint64_t secondary_rounds = 0;
+  for (const PlannedWave& wave : secondaries) {
+    secondary_rounds = std::max(secondary_rounds, wave.rounds);
+  }
+  rounds_max += primary_rounds + secondary_rounds;
 
-  // --- Sequential commit in canonical operation order: apply membership
-  // effects, dropping swaps whose nodes an earlier operation already moved,
-  // then run the deferred splits/merges on the clusters whose size changed.
+  // --- Two-stage commit (DESIGN.md §7).
   std::uint64_t commit_rounds = 0;
+  const auto commit_start = std::chrono::steady_clock::now();
   {
     OpScope commit(metrics_, "batch.commit");
-    std::vector<ClusterId> resized;
+
+    // Resolve (sequential, O(moves)): order every membership move
+    // canonically — operations first, then primary-wave swaps, then
+    // secondary-wave swaps — into per-cluster-slot edit lists. Swap
+    // endpoints are re-resolved at their current homes (an earlier move may
+    // have relocated them); a swap is dropped only when an endpoint left in
+    // this batch or both now share a cluster. Nothing here depends on the
+    // shard count. node_home is written directly as moves resolve, so it
+    // doubles as the within-batch home map: one O(1) page walk per lookup
+    // or update, no separate scratch and no deferred write pass (measured:
+    // a second paged structure costs more than the ordering work itself).
+    const std::size_t slot_count = state_.slot_count();
+    if (edit_scratch_.size() < slot_count) edit_scratch_.resize(slot_count);
+    std::vector<std::size_t> touched;
+    std::vector<ClusterId> candidates;   // resized clusters, first touch
+    const auto record = [&](std::size_t slot, NodeId n, bool add) {
+      if (edit_scratch_[slot].empty()) touched.push_back(slot);
+      edit_scratch_[slot].push_back(NowState::MemberEdit{n, add});
+    };
     for (const PlannedOp& op : ops) {
+      if (std::find(candidates.begin(), candidates.end(), op.target) ==
+          candidates.end()) {
+        candidates.push_back(op.target);
+      }
+      const std::size_t slot = state_.slot_index(op.target);
       if (op.is_join) {
-        state_.add_member(op.target, op.node);
-        resized.push_back(op.target);
+        record(slot, op.node, /*add=*/true);
+        state_.commit_home(op.node, op.target);
       } else {
-        // Re-resolve the home: an earlier swap may have moved the leaver.
-        const ClusterId current = state_.home_of(op.node);
-        state_.remove_member(current, op.node);
+        record(slot, op.node, /*add=*/false);
         state_.byzantine.erase(op.node);
         state_.unregister_node(op.node);
-        resized.push_back(current);
+        state_.clear_home(op.node);
       }
-      for (const PendingSwap& swap : op.swaps) {
-        // A swap trades two *nodes*; earlier operations of the batch may
-        // already have moved either one, so commit at the current homes
-        // (the shuffle keeps its full strength). Drop the swap only when a
-        // node is gone (left in this batch) or the two now share a cluster.
-        const ClusterId x_home = state_.home_of(swap.x);
-        const ClusterId y_home = state_.home_of(swap.y);
-        if (!x_home.valid() || !y_home.valid() || x_home == y_home) {
-          ++combined.conflicts;
-          continue;
+    }
+    const auto resolve_swaps = [&](const std::vector<PlannedWave>& waves) {
+      for (const PlannedWave& wave : waves) {
+        for (const PendingSwap& swap : wave.swaps) {
+          const ClusterId x_home = state_.home_of(swap.x);
+          const ClusterId y_home = state_.home_of(swap.y);
+          if (!x_home.valid() || !y_home.valid() || x_home == y_home) {
+            ++combined.conflicts;
+            continue;
+          }
+          const std::size_t x_slot = state_.slot_index(x_home);
+          const std::size_t y_slot = state_.slot_index(y_home);
+          record(x_slot, swap.x, /*add=*/false);
+          record(y_slot, swap.x, /*add=*/true);
+          record(y_slot, swap.y, /*add=*/false);
+          record(x_slot, swap.y, /*add=*/true);
+          state_.commit_home(swap.x, y_home);
+          state_.commit_home(swap.y, x_home);
         }
-        state_.move_node(swap.x, x_home, y_home);
-        state_.move_node(swap.y, y_home, x_home);
       }
-    }
-    // Swaps are size-neutral, so only join targets and leave homes can have
-    // crossed a threshold. Deduplicate in first-touch order (deterministic).
-    std::vector<ClusterId> candidates;
-    for (const ClusterId c : resized) {
-      if (std::find(candidates.begin(), candidates.end(), c) ==
-          candidates.end()) {
-        candidates.push_back(c);
+    };
+    resolve_swaps(primaries);
+    resolve_swaps(secondaries);
+
+    // Stage 1 (parallel): slots are partitioned into CONTIGUOUS blocks (one
+    // per shard) and each worker applies its clusters' member edits;
+    // cluster size changes are accumulated per shard, not written to the
+    // Fenwick mirror. Block (not mod-K) ownership keeps each worker's
+    // stores in disjoint cache-line ranges of the slot table — interleaved
+    // ownership false-shares, adjacent slots sit on one line. Workers also
+    // empty their slots' scratch buffers (capacity kept for the next
+    // batch). The partition choice cannot affect results: per-slot edit
+    // sequences are fixed by the resolve above, whoever applies them.
+    const std::size_t slot_block = (slot_count + shards - 1) / shards;
+    if (edit_workspaces_.size() < shards) edit_workspaces_.resize(shards);
+    if (delta_scratch_.size() < shards) delta_scratch_.resize(shards);
+    for (std::size_t s = 0; s < shards; ++s) delta_scratch_[s].clear();
+    pool.parallel_for(shards, [&](std::size_t s) {
+      for (const std::size_t slot : touched) {
+        if (slot / slot_block != s) continue;
+        const std::int64_t delta = state_.apply_member_edits(
+            slot, edit_scratch_[slot], edit_workspaces_[s]);
+        if (delta != 0) delta_scratch_[s].emplace_back(slot, delta);
+        edit_scratch_[slot].clear();
       }
+    });
+
+    // Stage 2 (sequential): merge the per-shard size deltas into the
+    // Fenwick mirror in one O(k)-bounded pass, reconcile the placed-node
+    // count, then run the deferred splits/merges on every cluster whose
+    // size changed, in first-touch order. Swaps are size-neutral, so only
+    // join targets and leave homes can have crossed a threshold.
+    std::vector<std::pair<std::size_t, std::int64_t>> all_deltas;
+    for (std::size_t s = 0; s < shards; ++s) {
+      all_deltas.insert(all_deltas.end(), delta_scratch_[s].begin(),
+                        delta_scratch_[s].end());
     }
+    state_.apply_size_deltas(all_deltas);
+    state_.adjust_placed_count(static_cast<std::int64_t>(joins) -
+                               static_cast<std::int64_t>(leaves.size()));
     for (const ClusterId c : candidates) {
       if (!state_.has_cluster(c)) continue;  // merged away earlier
       while (state_.has_cluster(c) &&
@@ -556,10 +812,15 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_sharded(
     metrics_.add_rounds(commit_rounds);
     combined.commit_cost = commit.cost();
   }
+  combined.commit_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - commit_start)
+          .count());
 
   combined.cost = scope.cost();
-  // Planned operations overlap in time (max); the commit's restructuring
-  // runs after the batch on the critical path (add).
+  // Planned operations and waves overlap in time (max within each tier);
+  // the commit's restructuring runs after the batch on the critical path
+  // (add).
   combined.cost.rounds = rounds_max + commit_rounds;
   return {std::move(joined), combined};
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/paged_index.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/invariants.hpp"
@@ -73,9 +74,20 @@ struct OpReport {
   /// exact; rounds are the shard's sequential sum, the batch's round count
   /// below combines per-op rounds by max). Sums to cost - commit_cost.
   std::vector<Cost> shard_costs;
-  /// Sharded batches only: cost of the sequential commit phase (membership
-  /// moves plus the deferred splits/merges it triggered).
+  /// Sharded batches only: protocol cost of the commit phase (the deferred
+  /// splits/merges; the membership moves themselves were charged while
+  /// planning).
   Cost commit_cost;
+  /// Sharded batches only: exchange waves the wave scheduler ran this step
+  /// (primary waves on clusters touched by an operation, plus the deduped
+  /// secondary waves on their leave-wave partners). Each touched cluster
+  /// shuffles exactly once per time step, however many batch operations
+  /// landed on it.
+  std::size_t wave_count = 0;
+  /// Sharded batches only: wall-clock nanoseconds of the commit phase
+  /// (resolve + stage-1 parallel apply + stage-2 merge and restructuring)
+  /// — the quantity BENCH_micro.json tracks as commit_ns.
+  std::uint64_t commit_ns = 0;
 };
 
 class NowSystem {
@@ -117,17 +129,35 @@ class NowSystem {
   /// home-cluster slot modulo `shards` and *planned* concurrently on a small
   /// thread pool against the frozen start-of-step state — each operation
   /// draws from its own RNG stream Rng::derive_stream(seed, batch, op) and
-  /// charges a per-shard Metrics — then a sequential commit phase applies
-  /// membership effects in canonical operation order and runs the deferred
-  /// splits/merges. Because plans depend only on the snapshot and per-op
-  /// streams, and the commit order is the operation order, the resulting
-  /// state is IDENTICAL for every shard count (shards = 1 included); the
-  /// shard count only changes wall-clock. This entry point always uses the
-  /// sharded engine, so `shards = 1` here is the equivalence baseline, while
-  /// step_parallel(..., shards = 1) is the legacy sequential engine.
+  /// charges a per-shard Metrics. Secondary to the operations, a per-step
+  /// WAVE SCHEDULER collects the set of clusters the batch touched and runs
+  /// exactly one full exchange wave per cluster per time step (the paper's
+  /// semantics — a cluster shuffles all of its nodes once), each wave on its
+  /// own derived stream; waves induced by a leave additionally schedule one
+  /// deduplicated secondary wave per partner cluster. Commit is two-stage:
+  /// a sequential resolve pass orders every membership move canonically
+  /// (writing node_home as it goes), stage 1 applies the per-cluster
+  /// member edits shard-parallel against contiguous slot blocks, and
+  /// stage 2 merges the per-shard size deltas into the Fenwick mirror and
+  /// runs the deferred splits/merges sequentially. Because plans depend only on the snapshot
+  /// and per-op/per-wave streams, and the resolve order is canonical, the
+  /// resulting state is IDENTICAL for every shard count (shards = 1
+  /// included); the shard count only changes wall-clock. This entry point
+  /// always uses the sharded engine, so `shards = 1` here is the
+  /// equivalence baseline, while step_parallel(..., shards = 1) is the
+  /// legacy sequential engine.
   std::pair<std::vector<NodeId>, OpReport> step_parallel_sharded(
       std::size_t joins, const std::vector<NodeId>& leaves,
       bool byzantine_joiners, std::size_t shards);
+
+  /// Generalization of step_parallel_sharded for adversarial batches: the
+  /// first `byzantine_joins` of the `joins` joiners are corrupted, the rest
+  /// are honest (the batched join-leave attack corrupts a tau fraction of
+  /// each wave of joiners rather than all or none). byzantine_joins must
+  /// not exceed joins. The bool entry points above delegate here.
+  std::pair<std::vector<NodeId>, OpReport> step_parallel_mixed(
+      std::size_t joins, std::size_t byzantine_joins,
+      const std::vector<NodeId>& leaves, std::size_t shards);
 
   /// randCl from `start` (exposed for tests and benches; charges costs).
   RandClResult rand_cl_from(ClusterId start);
@@ -179,6 +209,16 @@ class NowSystem {
   bool initialized_ = false;
   std::uint64_t batch_counter_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Commit-engine scratch reused across batches, so steady-state commits
+  // keep their buffer capacities instead of reallocating per step: the
+  // per-cluster-slot edit buffers (the resolve pass appends, the stage-1
+  // worker that owns the slot empties them) and the per-shard stage-1
+  // workspaces (merge buffers + signed size-delta arrays).
+  std::vector<std::vector<NowState::MemberEdit>> edit_scratch_;
+  std::vector<NowState::EditScratch> edit_workspaces_;
+  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>>
+      delta_scratch_;
 };
 
 }  // namespace now::core

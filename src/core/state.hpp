@@ -20,8 +20,16 @@
 //   * byzantine — a flat NodeSet (dense vector + paged positions).
 // All membership mutations MUST flow through add_member / remove_member /
 // move_node so the Fenwick mirror stays consistent; Cluster objects are
-// only handed out const. corrupt_home_for_test exists for invariant tests
-// that need to break the bookkeeping on purpose.
+// only handed out const. Two sanctioned exceptions:
+//   * corrupt_home_for_test, for invariant tests that need to break the
+//     bookkeeping on purpose;
+//   * the parallel-commit primitives (apply_member_edits / commit_home /
+//     apply_size_deltas / adjust_placed_count), the stage-1/stage-2 split of
+//     the sharded batch commit (DESIGN.md §7): member-vector edits and
+//     node_home writes happen shard-parallel against disjoint slots, the
+//     Fenwick mirror and the placed-node count are reconciled afterwards in
+//     one sequential merge. Their contracts spell out exactly which shared
+//     structure each one may touch.
 #pragma once
 
 #include <cassert>
@@ -29,6 +37,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -171,6 +180,125 @@ class NowState {
   void corrupt_home_for_test(NodeId node, ClusterId wrong) {
     node_home_.set(node.value(), wrong);
   }
+
+  // ------------------------------------------------- parallel commit (§7)
+  //
+  // The sharded batch commit resolves every membership move sequentially
+  // (commit_home / clear_home keep node_home current as it goes), then
+  // stage 1 partitions the touched cluster slots into contiguous blocks and
+  // lets each shard apply its clusters' member edits concurrently. These
+  // primitives deliberately do NOT maintain the Fenwick size mirror or the
+  // placed-node count — each shard accumulates signed size deltas privately
+  // and stage 2 folds them back in sequentially. Between the resolve pass
+  // and the matching apply_size_deltas/adjust_placed_count calls, the
+  // size-dependent samplers (random_cluster_size_biased, num_nodes) and the
+  // member vectors are out of sync with node_home and must not be
+  // consulted.
+
+  /// One ordered membership edit of a cluster slot: add (true) or remove
+  /// (false) `node`. Per-slot edit sequences are built sequentially in
+  /// canonical batch order, so the member vector's final layout is
+  /// independent of how slots are distributed over shards.
+  struct MemberEdit {
+    NodeId node;
+    bool add = false;
+  };
+
+  /// Reusable buffers of one stage-1 worker (capacities persist across
+  /// apply_member_edits calls; contents are ignored on entry).
+  struct EditScratch {
+    std::vector<NodeId> adds;
+    std::vector<NodeId> removes;
+    std::vector<NodeId> merge;
+  };
+
+  /// Applies `edits` to the cluster in `slot` and returns the net size
+  /// delta. The member vector is sorted, so the final layout depends only
+  /// on the net effect, not the edit order: the edits are netted (a node
+  /// added and removed within the batch cancels) and spliced in one
+  /// O(|members| + |edits|) merge pass instead of one O(|members|) insert
+  /// or erase per edit. Touches ONLY that slot's member vector — safe to
+  /// call concurrently for distinct slots with per-worker scratch. The
+  /// Fenwick mirror and placed_count are intentionally left stale (see
+  /// above).
+  std::int64_t apply_member_edits(std::size_t slot,
+                                  std::span<const MemberEdit> edits,
+                                  EditScratch& scratch) {
+    assert(slot < slots_.size() && slots_[slot].has_value());
+    scratch.adds.clear();
+    scratch.removes.clear();
+    for (const MemberEdit& edit : edits) {
+      (edit.add ? scratch.adds : scratch.removes).push_back(edit.node);
+    }
+    const std::int64_t delta =
+        static_cast<std::int64_t>(scratch.adds.size()) -
+        static_cast<std::int64_t>(scratch.removes.size());
+    std::sort(scratch.adds.begin(), scratch.adds.end());
+    std::sort(scratch.removes.begin(), scratch.removes.end());
+    // Cancel add/remove pairs of the same node (sorted multiset
+    // difference; per node the net count is -1, 0 or +1).
+    std::size_t a = 0;
+    std::size_t r = 0;
+    std::size_t a_out = 0;
+    std::size_t r_out = 0;
+    while (a < scratch.adds.size() && r < scratch.removes.size()) {
+      if (scratch.adds[a] == scratch.removes[r]) {
+        ++a;
+        ++r;
+      } else if (scratch.adds[a] < scratch.removes[r]) {
+        scratch.adds[a_out++] = scratch.adds[a++];
+      } else {
+        scratch.removes[r_out++] = scratch.removes[r++];
+      }
+    }
+    while (a < scratch.adds.size()) scratch.adds[a_out++] = scratch.adds[a++];
+    while (r < scratch.removes.size()) {
+      scratch.removes[r_out++] = scratch.removes[r++];
+    }
+    scratch.adds.resize(a_out);
+    scratch.removes.resize(r_out);
+    slots_[slot]->apply_sorted_edits(scratch.removes, scratch.adds,
+                                     scratch.merge);
+    return delta;
+  }
+
+  /// Writes a node's home as the sequential resolve pass orders its move —
+  /// node_home doubles as the commit's within-batch home map, so no
+  /// separate scratch structure (or deferred write pass) is needed.
+  void commit_home(NodeId node, ClusterId home) {
+    node_home_.set(node.value(), home);
+  }
+
+  /// Clears a departing node's home mapping (sequential resolve phase).
+  void clear_home(NodeId node) { node_home_.unset(node.value()); }
+
+  /// Stage 2: folds the per-shard signed size deltas into the Fenwick
+  /// mirror (slots must be live; a slot appears at most once per call since
+  /// each slot is owned by exactly one shard).
+  void apply_size_deltas(
+      std::span<const std::pair<std::size_t, std::int64_t>> deltas) {
+#ifndef NDEBUG
+    for (const auto& [slot, delta] : deltas) {
+      assert(slot < slots_.size() && slots_[slot].has_value());
+      assert(static_cast<std::int64_t>(sizes_.value_at(slot)) + delta ==
+             static_cast<std::int64_t>(slots_[slot]->size()));
+    }
+#endif
+    sizes_.apply_deltas(deltas);
+  }
+
+  /// Stage 2: reconciles the placed-node count with the batch's net
+  /// join/leave balance (swaps are size-neutral).
+  void adjust_placed_count(std::int64_t delta) {
+    assert(delta >= 0 ||
+           placed_count_ >= static_cast<std::size_t>(-delta));
+    placed_count_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(placed_count_) + delta);
+  }
+
+  /// Number of slots in the cluster slot table (live or free) — the bound
+  /// commit engines size their per-slot scratch arrays to.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
   // ------------------------------------------------------ live-node registry
 

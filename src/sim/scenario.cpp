@@ -9,6 +9,70 @@
 
 namespace now::sim {
 
+namespace {
+
+/// One time step of the batched adversary: corrupt a batch_byz_fraction of
+/// the joiners (within the static adversary's global budget tau * n) and,
+/// under BatchPlacement::kTargeted, churn the adversary's own misplaced
+/// nodes — Byzantine nodes outside the currently most-corrupted cluster
+/// leave so their replacements can re-roll the placement walk, the batched
+/// form of Section 3.3's join-leave attack.
+void run_adversarial_batch(const ScenarioConfig& config,
+                           const adversary::Adversary& adversary,
+                           core::NowSystem& system, std::size_t ops,
+                           Rng& rng) {
+  const auto& state = system.state();
+  const double budget =
+      adversary.tau() * static_cast<double>(system.num_nodes() + ops);
+  const std::size_t budget_left = static_cast<std::size_t>(std::max(
+      0.0, std::floor(budget) -
+               static_cast<double>(state.byzantine_total())));
+  const std::size_t byz_joins =
+      std::min({ops, budget_left,
+                static_cast<std::size_t>(std::floor(
+                    config.batch_byz_fraction * static_cast<double>(ops)))});
+
+  std::vector<NodeId> victims;
+  if (config.batch_placement == BatchPlacement::kTargeted &&
+      state.byzantine_total() > 0 && system.num_clusters() > 1) {
+    // Full knowledge: target the cluster that is already worst.
+    ClusterId target = ClusterId::invalid();
+    double worst = -1.0;
+    for (const ClusterId c : state.cluster_ids()) {
+      const double p =
+          cluster::byzantine_fraction(state.cluster_at(c), state.byzantine);
+      if (p > worst) {
+        worst = p;
+        target = c;
+      }
+    }
+    // Churn the adversary's misplaced nodes first (deterministic NodeSet
+    // order), keep the ones that already landed in the target.
+    for (const NodeId b : state.byzantine.items()) {
+      if (victims.size() >= ops) break;
+      if (state.home_of(b) != target) victims.push_back(b);
+    }
+    // Fill the quota with uniform honest victims (distinct from each other;
+    // the Byzantine picks above can never collide with them).
+    const std::size_t byz_victims = victims.size();
+    const std::size_t honest_pool =
+        system.num_nodes() - state.byzantine_total();
+    while (victims.size() < ops &&
+           victims.size() - byz_victims < honest_pool) {
+      const NodeId candidate = state.random_honest_node(rng);
+      if (std::find(victims.begin(), victims.end(), candidate) ==
+          victims.end()) {
+        victims.push_back(candidate);
+      }
+    }
+  } else {
+    victims = state.sample_distinct_nodes(rng, ops);
+  }
+  system.step_parallel_mixed(ops, byz_joins, victims, config.shards);
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             adversary::Adversary& adversary,
                             Metrics& metrics) {
@@ -56,10 +120,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       const std::size_t ops = std::min(
           config.batch_ops,
           system.num_nodes() > 2 ? system.num_nodes() - 2 : 0);
-      const std::vector<NodeId> victims =
-          system.state().sample_distinct_nodes(driver_rng, ops);
-      system.step_parallel(ops, victims,
-                           /*byzantine_joiners=*/false, config.shards);
+      if (config.batch_byz_fraction > 0.0) {
+        run_adversarial_batch(config, adversary, system, ops, driver_rng);
+      } else {
+        const std::vector<NodeId> victims =
+            system.state().sample_distinct_nodes(driver_rng, ops);
+        system.step_parallel(ops, victims,
+                             /*byzantine_joiners=*/false, config.shards);
+      }
     } else {
       adversary.step(system, t, driver_rng);
     }
@@ -70,6 +138,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   result.total_merges = metrics.operation_count("merge");
   result.final_nodes = system.num_nodes();
   result.final_clusters = system.num_clusters();
+  result.final_byzantine = system.state().byzantine_total();
   return result;
 }
 

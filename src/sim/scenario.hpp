@@ -14,6 +14,21 @@
 
 namespace now::sim {
 
+/// How the batched adversary (batch_byz_fraction > 0) picks its moves.
+enum class BatchPlacement {
+  /// Corrupted joiners are placed by the protocol's randCl like everyone
+  /// else and the leave victims are uniform — adversarial *volume* without
+  /// adversarial placement.
+  kUniform,
+  /// The batched join-leave attack (Section 3.3 under footnote *'s parallel
+  /// operations): each step the adversary targets the cluster with the
+  /// highest Byzantine fraction (it sees the whole state), keeps its nodes
+  /// that already sit there, and churns its nodes that landed elsewhere —
+  /// they leave this step and re-join (corrupted) in the next one. Honest
+  /// uniform victims fill the remainder of the leave quota.
+  kTargeted,
+};
+
 struct ScenarioConfig {
   core::NowParams params;
   std::size_t n0 = 0;          // 0 => sqrt(N)
@@ -24,13 +39,19 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
 
   /// Batched churn mode: when batch_ops > 0 each time step performs
-  /// batch_ops joins plus batch_ops leaves of uniformly chosen live nodes
-  /// through NowSystem::step_parallel (sharded when shards > 1) instead of
-  /// delegating the step to the adversary — the high-throughput regime the
-  /// sharded engine exists for. Size holds constant; joiners are honest
-  /// (this mode stresses churn volume, not adversarial placement).
+  /// batch_ops joins plus batch_ops leaves through NowSystem::step_parallel
+  /// (sharded when shards > 1) instead of delegating the step to the
+  /// adversary — the high-throughput regime the sharded engine exists for.
+  /// Size holds constant. Joiners are honest unless batch_byz_fraction > 0.
   std::size_t batch_ops = 0;
   std::size_t shards = 1;
+
+  /// Batched adversary: fraction of each step's joiners the adversary
+  /// corrupts (subject to the global budget tau * n — the static-adversary
+  /// rule every strategy obeys), placed per batch_placement. 0 keeps the
+  /// historical honest-batch behavior.
+  double batch_byz_fraction = 0.0;
+  BatchPlacement batch_placement = BatchPlacement::kUniform;
 };
 
 struct InvariantSample {
@@ -57,6 +78,9 @@ struct ScenarioResult {
   std::size_t total_merges = 0;
   std::size_t final_nodes = 0;
   std::size_t final_clusters = 0;
+  /// Byzantine nodes alive at the end — lets callers check the static
+  /// adversary's budget (<= tau * n) actually held, batched mode included.
+  std::size_t final_byzantine = 0;
 };
 
 /// Runs the scenario. The same Metrics records every operation, so callers

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 namespace now::cluster {
 namespace {
 
@@ -61,6 +63,31 @@ TEST(InterclusterTest, ExactTwoThirdsHonestStillAccepted) {
   const NodeSet byz{NodeId{0}, NodeId{1}};  // 2 of 9 byz
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
   EXPECT_TRUE(outcome.accepted);
+}
+
+TEST(InterclusterTest, CostOnlyChargeMatchesClusterSend) {
+  // cluster_send_charge is the planners' cost-only path (the sharded
+  // engine's exchange waves never consume the majority-rule outcome): it
+  // must charge exactly the messages cluster_send charges and return the
+  // same round count, for several shapes including the degenerate ones.
+  for (const auto& [from_size, to_size, units] :
+       {std::tuple<std::size_t, std::size_t, std::uint64_t>{7, 9, 1},
+        {1, 1, 1},
+        {16, 33, 3},
+        {0, 5, 2}}) {
+    Metrics full_metrics;
+    Metrics charge_metrics;
+    const auto from = make_cluster(ClusterId{1}, 0, from_size);
+    const auto to = make_cluster(ClusterId{2}, 100, to_size);
+    const auto outcome = cluster_send(from, to, units, {}, full_metrics);
+    const std::uint64_t rounds =
+        cluster_send_charge(from_size, to_size, units, charge_metrics);
+    EXPECT_EQ(charge_metrics.total().messages, full_metrics.total().messages)
+        << from_size << "x" << to_size;
+    EXPECT_EQ(rounds, outcome.cost.rounds);
+    EXPECT_EQ(charge_metrics.total().messages,
+              cluster_send_cost(from_size, to_size, units).messages);
+  }
 }
 
 }  // namespace

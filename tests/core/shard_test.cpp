@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+#include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/now.hpp"
@@ -45,40 +48,98 @@ std::vector<std::pair<std::uint64_t, std::size_t>> partition_signature(
 }
 
 TEST(ShardTest, ShardCountDoesNotChangeResults) {
-  // Same seed, same batches: shards=1 and shards=4 must produce an
-  // IDENTICAL partition — same cluster ids, same sizes, same node homes —
-  // because plans depend only on the start-of-step snapshot and per-op
-  // derived RNG streams, and the commit applies them in operation order.
-  Metrics metrics_a;
-  Metrics metrics_b;
-  NowSystem a{shard_params(), metrics_a, 11};
-  NowSystem b{shard_params(), metrics_b, 11};
-  a.initialize(1200, 120, InitTopology::kModeledSparse);
-  b.initialize(1200, 120, InitTopology::kModeledSparse);
-  Rng victims_a{99};
-  Rng victims_b{99};
+  // Same seed, same batches: shards ∈ {1, 4, 8} must produce an IDENTICAL
+  // partition — same cluster ids, same sizes, same node homes, same
+  // Byzantine ground truth — with the parallel two-stage commit and the
+  // wave scheduler engaged, because plans depend only on the start-of-step
+  // snapshot and per-op/per-wave derived RNG streams, the wave list is
+  // collected in canonical cluster order, and the commit resolves every
+  // move in canonical order. Three seeds, mixed batches: joins, leaves and
+  // a Byzantine fraction of the joiners in every round.
+  for (const std::uint64_t seed : {11ull, 29ull, 47ull}) {
+    constexpr std::size_t kShardAxis[] = {1, 4, 8};
+    std::vector<std::unique_ptr<Metrics>> metrics;
+    std::vector<std::unique_ptr<NowSystem>> systems;
+    std::vector<Rng> victim_rngs;
+    for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+      metrics.push_back(std::make_unique<Metrics>());
+      systems.push_back(
+          std::make_unique<NowSystem>(shard_params(), *metrics.back(), seed));
+      systems.back()->initialize(1200, 120, InitTopology::kModeledSparse);
+      victim_rngs.emplace_back(seed ^ 99);
+    }
 
-  for (int round = 0; round < 4; ++round) {
-    const auto leaves_a = pick_victims(a, 10, victims_a);
-    const auto leaves_b = pick_victims(b, 10, victims_b);
-    ASSERT_EQ(leaves_a, leaves_b) << "diverged before round " << round;
-    const auto [joined_a, report_a] =
-        a.step_parallel_sharded(14, leaves_a, round % 2 == 0, 1);
-    const auto [joined_b, report_b] =
-        b.step_parallel_sharded(14, leaves_b, round % 2 == 0, 4);
-    EXPECT_EQ(joined_a, joined_b);
-    EXPECT_EQ(report_a.splits, report_b.splits);
-    EXPECT_EQ(report_a.merges, report_b.merges);
-    EXPECT_EQ(report_a.conflicts, report_b.conflicts);
-  }
+    for (int round = 0; round < 4; ++round) {
+      // Mixed batch: 14 joins of which `round` are Byzantine, 10 leaves.
+      const std::size_t byz_joins = static_cast<std::size_t>(round);
+      std::vector<std::vector<NodeId>> joined(std::size(kShardAxis));
+      std::vector<OpReport> reports(std::size(kShardAxis));
+      for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+        const auto leaves = pick_victims(*systems[v], 10, victim_rngs[v]);
+        std::tie(joined[v], reports[v]) = systems[v]->step_parallel_mixed(
+            14, byz_joins, leaves, kShardAxis[v]);
+      }
+      for (std::size_t v = 1; v < std::size(kShardAxis); ++v) {
+        ASSERT_EQ(joined[0], joined[v])
+            << "seed " << seed << " round " << round << " shards "
+            << kShardAxis[v];
+        EXPECT_EQ(reports[0].splits, reports[v].splits);
+        EXPECT_EQ(reports[0].merges, reports[v].merges);
+        EXPECT_EQ(reports[0].conflicts, reports[v].conflicts);
+        EXPECT_EQ(reports[0].wave_count, reports[v].wave_count);
+        EXPECT_EQ(reports[0].cost.rounds, reports[v].cost.rounds);
+      }
+      EXPECT_GT(reports[0].wave_count, 0u);
+    }
 
-  EXPECT_EQ(a.num_nodes(), b.num_nodes());
-  EXPECT_EQ(partition_signature(a), partition_signature(b));
-  for (const NodeId node : a.state().live_nodes()) {
-    ASSERT_EQ(a.state().home_of(node), b.state().home_of(node));
+    for (std::size_t v = 1; v < std::size(kShardAxis); ++v) {
+      EXPECT_EQ(systems[0]->num_nodes(), systems[v]->num_nodes());
+      EXPECT_EQ(partition_signature(*systems[0]),
+                partition_signature(*systems[v]));
+      for (const NodeId node : systems[0]->state().live_nodes()) {
+        ASSERT_EQ(systems[0]->state().home_of(node),
+                  systems[v]->state().home_of(node))
+            << "seed " << seed << " shards " << kShardAxis[v];
+        EXPECT_EQ(systems[0]->state().byzantine.contains(node),
+                  systems[v]->state().byzantine.contains(node));
+      }
+      EXPECT_EQ(systems[0]->state().byzantine.size(),
+                systems[v]->state().byzantine.size());
+      EXPECT_TRUE(systems[v]->check().ok);
+    }
+    EXPECT_TRUE(systems[0]->check().ok);
   }
-  EXPECT_TRUE(a.check().ok);
-  EXPECT_TRUE(b.check().ok);
+}
+
+TEST(ShardTest, WaveSchedulerRunsOneWavePerTouchedCluster) {
+  // Several operations landing on one cluster must still produce at most
+  // one primary wave per cluster; with a single-cluster partition there is
+  // nobody to swap with, so an entire batch yields exactly one wave (the
+  // target cluster's own, with zero swaps) — and never one per operation.
+  NowParams p = shard_params();
+  Metrics metrics;
+  NowSystem system{p, metrics, 71};
+  system.initialize(60, 0, InitTopology::kModeledSparse);
+  ASSERT_EQ(system.num_clusters(), 1u);
+  const auto [joined, report] = system.step_parallel_sharded(6, {}, false, 4);
+  ASSERT_EQ(joined.size(), 6u);
+  EXPECT_EQ(report.wave_count, 1u);  // 6 joins, one touched cluster
+  EXPECT_EQ(report.conflicts, 0u);
+  EXPECT_TRUE(system.check().ok);
+
+  // In a multi-cluster deployment the wave count is bounded by the number
+  // of live clusters (one wave per cluster per time step), even though the
+  // sequential engine would run one exchange per join plus one per leave
+  // partner — the O(partners x swaps) duplication the scheduler removes.
+  Metrics big_metrics;
+  NowSystem big{shard_params(), big_metrics, 73};
+  big.initialize(1000, 0, InitTopology::kModeledSparse);
+  Rng victims{5};
+  const auto leaves = big.state().sample_distinct_nodes(victims, 12);
+  const auto [j2, r2] = big.step_parallel_sharded(12, leaves, false, 4);
+  EXPECT_GT(r2.wave_count, 0u);
+  EXPECT_LE(r2.wave_count, big.num_clusters());
+  EXPECT_TRUE(big.check().ok);
 }
 
 TEST(ShardTest, ClusterSizeMultisetMatchesAcrossShardCounts) {

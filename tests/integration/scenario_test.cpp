@@ -128,6 +128,36 @@ TEST(ScenarioTest, NoShuffleBaselineFallsToTheSameAttack) {
       << "no-shuffle baseline unexpectedly survived the join-leave attack";
 }
 
+TEST(ScenarioTest, BatchedAdversaryRespectsBudgetAndIsAbsorbed) {
+  // The batched adversary corrupts a tau fraction of every step's joiners
+  // and churns its misplaced nodes toward the worst cluster. With
+  // shuffling on, the invariants must hold exactly as under the sequential
+  // join-leave attack, and the global Byzantine budget tau * n must never
+  // be exceeded.
+  auto config = base_config();
+  config.params.k = 10;
+  config.params.tau = 0.10;
+  config.steps = 40;
+  config.sample_every = 5;
+  config.batch_ops = 8;
+  config.shards = 4;
+  config.batch_byz_fraction = config.params.tau;
+  config.batch_placement = BatchPlacement::kTargeted;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_FALSE(result.ever_compromised);
+  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+  EXPECT_LT(result.peak_byz_fraction, 1.0 / 3.0);
+  EXPECT_EQ(result.final_nodes, 400u);  // size-neutral batches
+  // The static adversary's global budget: corruptions per step are capped
+  // at tau * (n + ops), so the final total can never exceed it.
+  EXPECT_LE(static_cast<double>(result.final_byzantine),
+            config.params.tau *
+                static_cast<double>(result.final_nodes + config.batch_ops));
+}
+
 TEST(ScenarioTest, BatchedShardedChurnHoldsInvariants) {
   // The high-throughput regime: every step is a batch of 8 joins + 8
   // leaves through the sharded engine. Invariants must survive exactly as
