@@ -60,11 +60,14 @@ AttackOutcome run_attack(bool shuffle, const std::string& kind,
 /// joins + leaves through the sharded engine, the adversary corrupts a tau
 /// fraction of each step's joiners and places them with the targeted
 /// join-leave policy (its misplaced nodes churn until they land in the
-/// most-corrupted cluster). The same attack, the same separation — but
+/// most-corrupted cluster). With `leave_quota > 0` it additionally forces
+/// that many victims per step out of the worst/smallest clusters — the
+/// batched forced-leave DoS. The same attacks, the same separation — but
 /// under footnote *'s "several parallel operations per time step" regime
 /// instead of one operation at a time.
 AttackOutcome run_batched_attack(bool shuffle, std::size_t shards,
-                                 std::size_t steps, std::uint64_t seed) {
+                                 std::size_t steps, std::size_t leave_quota,
+                                 std::uint64_t seed) {
   sim::ScenarioConfig config;
   config.params.max_size = 1 << 12;
   config.params.tau = 0.15;
@@ -79,6 +82,7 @@ AttackOutcome run_batched_attack(bool shuffle, std::size_t shards,
   config.shards = shards;
   config.batch_byz_fraction = config.params.tau;
   config.batch_placement = sim::BatchPlacement::kTargeted;
+  config.batch_leave_quota = leave_quota;
 
   Metrics metrics;
   // Supplies the adversary's tau (the corruption budget); the per-step
@@ -126,34 +130,47 @@ void run(std::size_t shards) {
   }
 
   // Batched-adversary axis: the same join-leave separation must survive the
-  // parallel-operations regime (batch of 8 + 8 per step, sharded engine).
+  // parallel-operations regime (batch of 8 + 8 per step, sharded engine);
+  // the forced-leave DoS quota (every leave slot adversarially forced at
+  // the worst/smallest clusters, on top of the corrupted joiners) is the
+  // leave-heavy worst case the optimistic-resolve engine is exercised
+  // under.
   const std::size_t batched_steps = 400;
-  for (const bool shuffle : {true, false}) {
-    const auto outcome =
-        run_batched_attack(shuffle, shards, batched_steps, shuffle ? 19 : 37);
-    table.add_row(
-        {shuffle ? "NOW (shuffling)" : "no-shuffle baseline",
-         "batched join-leave", sim::Table::fmt(std::uint64_t{batched_steps}),
-         outcome.fell ? "YES" : "no",
-         outcome.fell ? sim::Table::fmt(std::uint64_t{outcome.fall_step})
-                      : "-",
-         sim::Table::fmt(outcome.peak, 3)});
-    const std::string label = std::string("batched-join-leave") +
-                              (shuffle ? "[now]" : "[no-shuffle]");
-    json.add_scalar("peak_pC[" + label + "]", batched_steps, outcome.peak);
-    json.add_scalar("captured[" + label + "]", batched_steps,
-                    outcome.fell ? 1.0 : 0.0);
-    if (shuffle && outcome.fell) separation = false;
-    if (!shuffle && !outcome.fell) separation = false;
+  for (const std::size_t quota : {std::size_t{0}, std::size_t{8}}) {
+    const std::string attack =
+        quota == 0 ? "batched join-leave" : "batched forced-leave";
+    const std::string key =
+        quota == 0 ? "batched-join-leave" : "batched-forced-leave";
+    for (const bool shuffle : {true, false}) {
+      const auto outcome = run_batched_attack(
+          shuffle, shards, batched_steps, quota, shuffle ? 19 : 37);
+      table.add_row(
+          {shuffle ? "NOW (shuffling)" : "no-shuffle baseline", attack,
+           sim::Table::fmt(std::uint64_t{batched_steps}),
+           outcome.fell ? "YES" : "no",
+           outcome.fell ? sim::Table::fmt(std::uint64_t{outcome.fall_step})
+                        : "-",
+           sim::Table::fmt(outcome.peak, 3)});
+      const std::string label = key + (shuffle ? "[now]" : "[no-shuffle]");
+      json.add_scalar("peak_pC[" + label + "]", batched_steps, outcome.peak);
+      json.add_scalar("captured[" + label + "]", batched_steps,
+                      outcome.fell ? 1.0 : 0.0);
+      // The separation verdict requires NOW to survive every batched
+      // attack; the no-shuffle capture is required for the join-leave
+      // flavor (the forced-leave DoS degrades the baseline more slowly,
+      // so its capture inside the horizon is reported but not gated).
+      if (shuffle && outcome.fell) separation = false;
+      if (!shuffle && quota == 0 && !outcome.fell) separation = false;
+    }
   }
 
   table.print(std::cout);
-  bench::print_verdict(
-      separation,
+  bench::record_verdict(
+      json, separation,
       "the same join-leave attack that captures a cluster without shuffling "
       "is fully absorbed by NOW's exchange — sequentially and under batched "
-      "parallel churn — the experiment behind Section 3.3's design "
-      "argument");
+      "parallel churn, forced-leave DoS quotas included — the experiment "
+      "behind Section 3.3's design argument");
 }
 
 }  // namespace

@@ -117,6 +117,15 @@ inline void print_verdict(bool holds, const std::string& summary) {
             << summary << "\n";
 }
 
+/// Prints the verdict AND records it as a `verdict` scalar row (1 =
+/// REPRODUCED, 0 = DEVIATION) so scripts/check_bench.py can hard-fail a PR
+/// whose CI bench flips away from REPRODUCED without scraping stdout.
+inline void record_verdict(JsonEmitter& json, bool holds,
+                           const std::string& summary) {
+  print_verdict(holds, summary);
+  json.add_scalar("verdict", 0, holds ? 1.0 : 0.0);
+}
+
 /// Mean over samples of the message field.
 inline double mean_messages(const std::vector<Cost>& samples) {
   if (samples.empty()) return 0.0;

@@ -71,7 +71,8 @@ void run() {
             << " (r^2=" << sim::Table::fmt(fit.r2, 3)
             << "); as a power law N^" << sim::Table::fmt(poly.slope, 3)
             << "\n";
-  bench::print_verdict(
+  bench::record_verdict(
+      json,
       rounds_ok && poly.slope < 0.5,
       "exchange stays polylog — measured exponent sits between the paper's "
       "log^6 and log^7 because every swap's composition updates are charged "

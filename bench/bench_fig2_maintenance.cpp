@@ -120,7 +120,9 @@ void run(const std::vector<std::size_t>& shard_axis) {
       const auto samples = metrics.operation_samples(op);
       if (samples.empty()) continue;
       std::vector<double> msgs;
-      for (const auto& c : samples) msgs.push_back(static_cast<double>(c.messages));
+      for (const auto& c : samples) {
+        msgs.push_back(static_cast<double>(c.messages));
+      }
       table.add_row({sim::Table::fmt(N), op,
                      sim::Table::fmt(std::uint64_t{samples.size()}),
                      sim::Table::fmt(bench::mean_messages(samples), 0),
@@ -173,7 +175,8 @@ void run(const std::vector<std::size_t>& shard_axis) {
 
   // Our leave includes the second exchange wave, so the polylog exponent is
   // higher than the paper's randCl-based log^6 but still polylog.
-  bench::print_verdict(
+  bench::record_verdict(
+      json,
       join_s1 < 0.92 * join_s0 && leave_s1 < 0.92 * leave_s0 &&
           join_fit.r2 > 0.9 && leave_fit.r2 > 0.9,
       "all maintenance costs grow sub-polynomially (local log-log slope "

@@ -69,7 +69,8 @@ void run() {
     const bool connected = graph::is_connected(overlay.graph());
     const double paper_bound = bench::lnpow(N, 1.1) / 2.0;
     table.add_row(
-        {sim::Table::fmt(N), sim::Table::fmt(std::uint64_t{overlay.num_clusters()}),
+        {sim::Table::fmt(N),
+         sim::Table::fmt(std::uint64_t{overlay.num_clusters()}),
          sim::Table::fmt(std::uint64_t{churn_ops}),
          sim::Table::fmt(std::uint64_t{overlay.target_degree()}),
          sim::Table::fmt(std::uint64_t{overlay.degree_cap()}),

@@ -95,7 +95,8 @@ void run() {
   std::cout << "message cost ~ (ln N)^" << sim::Table::fmt(fit.slope, 2)
             << " (paper bound exponent: 5); rounds ~ (ln N)^"
             << sim::Table::fmt(rfit.slope, 2) << " (paper bound: 4)\n";
-  bench::print_verdict(
+  bench::record_verdict(
+      json,
       law_ok && bounded && fit.slope < 5.5,
       "randCl lands within the paper's O(log^5 N)/O(log^4 N) budgets (the "
       "measured exponent is lower because the paper budgets O(log n) whp "

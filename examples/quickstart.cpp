@@ -63,7 +63,8 @@ int main() {
   sim::Table costs({"operation", "count", "total_msgs"});
   for (const auto& label : metrics.labels()) {
     costs.add_row({label,
-                   sim::Table::fmt(std::uint64_t{metrics.operation_count(label)}),
+                   sim::Table::fmt(
+                       std::uint64_t{metrics.operation_count(label)}),
                    sim::Table::fmt(metrics.operation_total(label).messages)});
   }
   costs.print(std::cout);

@@ -15,7 +15,9 @@ QuorumResult build_representative_quorum(std::span<const NodeId> nodes,
   QuorumResult result;
   const auto picks = rng.sample_distinct(nodes.size(), size);
   result.committee.reserve(size);
-  for (const std::size_t index : picks) result.committee.push_back(nodes[index]);
+  for (const std::size_t index : picks) {
+    result.committee.push_back(nodes[index]);
+  }
   std::sort(result.committee.begin(), result.committee.end());
 
   result.charged = quorum_cost_model(nodes.size());

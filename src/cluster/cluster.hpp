@@ -77,6 +77,14 @@ class Cluster {
     return members_[index];
   }
 
+  /// Sorted position of `node` (the inverse of member_at; O(log size)).
+  /// The batch commit keys its conflict-detection footprints on these.
+  [[nodiscard]] std::size_t index_of(NodeId node) const {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+    assert(it != members_.end() && *it == node && "member not present");
+    return static_cast<std::size_t>(it - members_.begin());
+  }
+
   /// Uniformly random member.
   [[nodiscard]] NodeId random_member(Rng& rng) const {
     assert(!members_.empty());

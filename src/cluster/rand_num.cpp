@@ -109,7 +109,8 @@ RandNumResult run_rand_num(std::span<const NodeId> members,
       for (const NodeId peer : sorted) {
         if (peer == id) continue;
         const auto units =
-            static_cast<std::uint64_t>(std::max<std::size_t>(1, own_view.size()));
+            static_cast<std::uint64_t>(
+                std::max<std::size_t>(1, own_view.size()));
         metrics.add_messages(units);
         result.messages += units;
         echoes_received.at(peer).push_back(own_view);

@@ -1,8 +1,8 @@
 // Deterministic pseudo-random number generation for the simulation.
 //
 // Every stochastic component of the reproduction (adversary choices, CTRW
-// trajectories, randNum contributions, Erdős–Rényi wiring, ...) draws from an
-// explicitly passed Rng so that whole experiments are reproducible from a
+// trajectories, randNum contributions, Erdős–Rényi wiring, ...) draws from
+// an explicitly passed Rng so whole experiments are reproducible from a
 // single seed. The generator is xoshiro256** seeded via splitmix64, which is
 // fast, has 256-bit state, and passes BigCrush — adequate for simulation
 // statistics (this is not a cryptographic RNG; randNum's *security* argument

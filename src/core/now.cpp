@@ -13,6 +13,7 @@
 #include "cluster/intercluster.hpp"
 #include "cluster/rand_num.hpp"
 #include "common/math_util.hpp"
+#include "core/plan_cache.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/erdos_renyi.hpp"
 
@@ -20,14 +21,9 @@ namespace now::core {
 
 namespace {
 
-/// Sum of neighbor-cluster sizes — the audience of a composition update.
-std::size_t neighborhood_population(const NowState& state, ClusterId c) {
-  std::size_t total = 0;
-  for (const ClusterId d : state.overlay.neighbors(c)) {
-    total += state.cluster_at(d).size();
-  }
-  return total;
-}
+// neighborhood_population lives in core/plan_cache.hpp — the same helper
+// backs the live-state charging below and the cache maintenance, so the
+// audience computation can never drift between them.
 
 /// Charges the cost of cluster `c` multicasting `units` words to every node
 /// of every neighboring cluster (each member sends, majority rule applies).
@@ -49,27 +45,34 @@ over::OverParams make_over_params(const NowParams& p) {
   return op;
 }
 
+}  // namespace
+
 // ------------------------------------------------------- sharded batch plan
 //
 // The sharded engine splits every batch into a PLAN phase (random decisions
 // + cost accounting against the frozen start-of-step state; runs
 // concurrently, one shard per thread, each operation and each exchange wave
-// on its own derived RNG stream) and a two-stage COMMIT phase (a sequential
-// resolve pass orders every membership move canonically, stage 1 applies
-// the per-cluster edits shard-parallel, stage 2 merges size deltas and runs
-// the deferred splits/merges sequentially). Plans never touch NowState
-// non-const — everything they decide is recorded here.
+// on its own derived RNG stream) and a COMMIT phase (an optimistic parallel
+// resolve + sequential conflict replay decides every membership move,
+// stage 1 applies the per-cluster edits shard-parallel, stage 2 merges size
+// deltas and runs the deferred splits/merges sequentially). Plans never
+// touch NowState non-const — everything they decide is recorded here.
+// The snapshot aggregates live in the persistent, incrementally maintained
+// PlanCache (core/plan_cache.hpp).
 
-/// One exchange swap decided during planning: x (member of `from`) trades
-/// places with y (member of `to`). Applied at commit iff both nodes are
-/// still live; stale endpoints are re-resolved at their current homes and
-/// the swap is dropped as a conflict only when an endpoint left in this
-/// batch or both collapsed into one cluster.
+/// One exchange swap decided during planning: x (member of the wave's
+/// cluster) trades places with y (member of the partner). Both endpoints
+/// are recorded by home-cluster SLOT and by FLAT SNAPSHOT POSITION
+/// (PlanCache::flat_offset space) at plan time, so the commit's conflict
+/// detection needs no paged home lookups: a swap conflicts exactly when one
+/// of its flat footprints is touched by more than one planned move.
 struct PendingSwap {
   NodeId x;
-  ClusterId from;
   NodeId y;
-  ClusterId to;
+  std::uint32_t from_slot = 0;
+  std::uint32_t to_slot = 0;
+  std::uint32_t x_flat = 0;
+  std::uint32_t y_flat = 0;
 };
 
 struct PlannedOp {
@@ -84,119 +87,110 @@ struct PlannedOp {
 /// operations touched it. Waves are collected in canonical order (first
 /// touch by operation order; secondaries in partner order of their primary)
 /// so their RNG streams, and therefore the committed state, are independent
-/// of the shard count.
+/// of the shard count. The wave's swap and partner buffers live in the
+/// per-cluster wave cache (BatchScratch::wave_cache), keyed by `slot` and
+/// reused across time steps.
 struct PlannedWave {
   ClusterId cluster = ClusterId::invalid();
+  std::uint32_t slot = 0;
   /// Substream index: derive_stream(seed, batch, stream) — canonical.
   std::uint64_t stream = 0;
   /// A leave touched this cluster, so its partners get secondary waves.
   bool from_leave = false;
   std::uint64_t rounds = 0;
+};
+
+/// A cluster's wave buffers, persisting across time steps (keyed by slot):
+/// steady-state churn shuffles the same clusters again and again, so the
+/// swap/partner capacities from earlier steps are reused instead of
+/// reallocated per wave.
+struct ClusterWaveCache {
   std::vector<PendingSwap> swaps;
   std::vector<ClusterId> partners;
 };
 
-/// Aggregates of the frozen snapshot, computed once per batch and shared
-/// read-only by every planner thread. The sequential engine must recompute
-/// these on every swap because each swap mutates the state; the plan phase
-/// reads an immutable snapshot, which is where the single-core speedup of
-/// the sharded engine comes from (the thread pool stacks on top of it).
-///
-/// Clusters are addressed by their DENSE INDEX in the snapshot's
-/// cluster_ids() order: the wave planners draw partner clusters tens of
-/// thousands of times per batch, and flat arrays indexed by a dense id keep
-/// each draw to a couple of cache lines where the live-state accessors
-/// (paged slot lookup + slot table + Fenwick descend) are chains of
-/// dependent misses.
-struct PlanCache {
-  /// Sum of neighbor-cluster sizes, keyed by cluster slot.
-  std::vector<std::uint64_t> neighborhood_by_slot;
-  /// Modeled kSampleExact walk (cluster unset); invalid under kSimulate.
-  RandClResult walk;
+/// Per-shard wave-planning workspace: epoch-stamped partner dedup (O(1)
+/// per draw instead of a linear scan of the wave's partner list).
+struct WaveWorkspace {
+  std::vector<std::uint32_t> partner_epoch;  // by dense cluster index
+  std::uint32_t epoch = 0;
+};
 
-  // Dense snapshot tables, indexed by position in cluster_ids() order.
-  std::vector<ClusterId> id_by_index;
-  std::vector<const cluster::Cluster*> cluster_by_index;
-  std::vector<std::uint64_t> neighborhood_by_index;
-  /// Dense index of a live cluster, keyed by slot.
-  std::vector<std::uint32_t> index_by_slot;
+/// Batch-engine state persisting across time steps (owned by NowSystem
+/// through a unique_ptr; the header only forward-declares it). Everything
+/// here is either a cache whose content survives batches (PlanCache, the
+/// per-cluster wave caches) or scratch whose *capacity* survives (footprint
+/// counters, per-slot edit buffers, per-shard workspaces) so steady-state
+/// batches run allocation-free.
+struct BatchScratch {
+  /// Incrementally maintained snapshot aggregates (core/plan_cache.hpp).
+  PlanCache cache;
 
-  // Exact integer alias table (Vose) over the dense indices with weights
-  // |C|: a size-biased draw is two uniform draws + two array loads, O(1),
-  // against the O(log k) Fenwick descend of the live-state sampler. The
-  // scaled weights are integers throughout, so the law is exactly |C| / n —
-  // the same distribution random_cluster_size_biased realizes.
-  std::vector<std::uint64_t> alias_threshold;
-  std::vector<std::uint32_t> alias_index;
-  std::uint64_t total_weight = 0;
+  /// Per-cluster wave buffers, by slot, reused across steps.
+  std::vector<ClusterWaveCache> wave_cache;
+  /// Per-shard wave-planning workspaces.
+  std::vector<WaveWorkspace> wave_ws;
+  std::vector<PlannedWave> primaries;
+  std::vector<PlannedWave> secondaries;
 
-  /// Dense index drawn with probability |C| / n.
-  [[nodiscard]] std::size_t draw_biased(Rng& rng) const {
-    const std::size_t column = rng.uniform(alias_threshold.size());
-    const std::uint64_t toss = rng.uniform(total_weight);
-    return toss < alias_threshold[column] ? column : alias_index[column];
+  /// Batch leavers grouped by home slot; only the slots named in
+  /// `leaver_slots` are populated (cleared after the batch).
+  std::vector<std::vector<NodeId>> leavers_by_slot;
+  std::vector<std::uint32_t> leaver_slots;
+  /// Wave index per touched slot (reset per batch via the wave lists).
+  std::vector<std::size_t> wave_of_slot;
+
+  /// Epoch-stamped footprint counters over flat snapshot positions
+  /// (PlanCache::flat_offset space): entry = (epoch << 4) | leaver_bit(8)
+  /// | saturating move count (0..2). The commit's conflict detection keys
+  /// on these — no per-batch clearing, no paged lookups.
+  std::vector<std::uint64_t> foot;
+  std::uint64_t foot_epoch = 0;
+
+  /// Per-canonical-swap resolution outcome (kApply and friends below).
+  std::vector<std::uint8_t> fate;
+  /// Canonical wave listing (primaries then secondaries) and, in parallel
+  /// resolve mode, each wave's prefix offset into `fate` — rebuilt every
+  /// batch, capacities kept.
+  std::vector<const PlannedWave*> all_waves;
+  std::vector<std::size_t> wave_swap_offset;
+
+  // Commit-engine scratch: the per-cluster-slot edit buffers (the resolve
+  // passes append, the stage-1 worker that owns the slot empties them) and
+  // the per-shard stage-1 workspaces (merge buffers + signed size-delta
+  // arrays + swap-edit touch lists).
+  std::vector<std::vector<NowState::MemberEdit>> edit_scratch;
+  std::vector<NowState::EditScratch> edit_workspaces;
+  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>>
+      delta_scratch;
+  std::vector<std::vector<std::size_t>> touched_scratch;
+
+  [[nodiscard]] std::uint64_t foot_value(std::uint64_t flat) const {
+    const std::uint64_t entry = foot[flat];
+    return (entry >> 4) == foot_epoch ? (entry & 0xF) : 0;
   }
-
-  [[nodiscard]] std::uint64_t neighborhood(const NowState& state,
-                                           ClusterId c) const {
-    return neighborhood_by_slot[state.slot_index(c)];
+  void foot_mark_leaver(std::uint64_t flat) {
+    foot[flat] = (foot_epoch << 4) | foot_value(flat) | 0x8;
+  }
+  void foot_count_move(std::uint64_t flat) {
+    const std::uint64_t value = foot_value(flat);
+    const std::uint64_t count = value & 0x3;
+    foot[flat] = (foot_epoch << 4) | (value & 0x8) |
+                 (count < 2 ? count + 1 : count);
   }
 };
 
-PlanCache build_plan_cache(const NowState& state, const NowParams& params) {
-  PlanCache cache;
-  const std::size_t k = state.num_clusters();
-  cache.id_by_index.reserve(k);
-  cache.cluster_by_index.reserve(k);
-  cache.neighborhood_by_index.reserve(k);
-  cache.index_by_slot.resize(state.slot_count(), 0);
-  std::vector<std::uint64_t> scaled(k);  // |C| * k, summing to n * k
-  for (const ClusterId c : state.cluster_ids()) {
-    const std::size_t slot = state.slot_index(c);
-    if (cache.neighborhood_by_slot.size() <= slot) {
-      cache.neighborhood_by_slot.resize(slot + 1, 0);
-    }
-    const std::uint64_t neighborhood = neighborhood_population(state, c);
-    cache.neighborhood_by_slot[slot] = neighborhood;
-    const std::size_t index = cache.id_by_index.size();
-    cache.index_by_slot[slot] = static_cast<std::uint32_t>(index);
-    cache.id_by_index.push_back(c);
-    cache.cluster_by_index.push_back(&state.cluster_at(c));
-    cache.neighborhood_by_index.push_back(neighborhood);
-    const std::uint64_t size = state.cluster_at(c).size();
-    scaled[index] = size * k;
-    cache.total_weight += size;
-  }
-  // Vose construction on integer weights: every column ends with a
-  // threshold in [0, W] and one alias; exactness needs no floating point.
-  const std::uint64_t w = cache.total_weight;
-  cache.alias_threshold.assign(k, w);
-  cache.alias_index.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    cache.alias_index[i] = static_cast<std::uint32_t>(i);
-  }
-  std::vector<std::uint32_t> small;
-  std::vector<std::uint32_t> large;
-  for (std::size_t i = 0; i < k; ++i) {
-    (scaled[i] < w ? small : large).push_back(static_cast<std::uint32_t>(i));
-  }
-  while (!small.empty() && !large.empty()) {
-    const std::uint32_t s = small.back();
-    small.pop_back();
-    const std::uint32_t l = large.back();
-    large.pop_back();
-    cache.alias_threshold[s] = scaled[s];
-    cache.alias_index[s] = l;
-    scaled[l] -= w - scaled[s];
-    (scaled[l] < w ? small : large).push_back(l);
-  }
-  // Leftover columns (all weight variance consumed) keep threshold = W.
+/// Optimistic-resolve outcomes (BatchScratch::fate).
+enum : std::uint8_t {
+  kFateApply = 0,    // resolved in parallel: apply at the planned slots
+  kFateDrop = 1,     // resolved in parallel: partner left, swap dropped
+  kFateReplayed = 2  // handed to the sequential conflict pass
+};
 
-  if (params.walk_mode == WalkMode::kSampleExact) {
-    cache.walk = rand_cl_cost_model(state, params);
-  }
-  return cache;
-}
+constexpr std::size_t kNoWave = static_cast<std::size_t>(-1);
+
+
+namespace {
 
 /// randCl against the snapshot. kSampleExact: the endpoint draw (via the
 /// cache's O(1) alias sampler — same |C|/n law as the live-state Fenwick
@@ -217,29 +211,34 @@ RandClResult plan_rand_cl(const NowState& state, const NowParams& params,
 
 /// Plans one exchange wave for `wave.cluster` against the snapshot: the same
 /// walk / notice / draw / broadcast cost sequence as the sequential
-/// exchange_all, but the membership swaps are recorded instead of applied.
-/// `skips` excludes the batch's departing nodes homed in this cluster (a
-/// leaver must not be shuffled onward). Partner notices are charged through
-/// cluster::cluster_send_charge — planning never consumes the majority-rule
-/// outcome, so the per-call Byzantine count is skipped while the charged
-/// cost stays identical to cluster_send's.
+/// exchange_all, but the membership swaps are recorded into the cluster's
+/// wave cache instead of applied. `skips` excludes the batch's departing
+/// nodes homed in this cluster (a leaver must not be shuffled onward).
+/// Partner notices are charged through cluster::cluster_send_charge —
+/// planning never consumes the majority-rule outcome, so the per-call
+/// Byzantine count is skipped while the charged cost stays identical to
+/// cluster_send's.
 void plan_wave(const NowState& state, const NowParams& params,
-               PlannedWave& wave, std::span<const NodeId> skips,
-               const PlanCache& cache, Metrics& metrics, Rng& rng) {
+               PlannedWave& wave, ClusterWaveCache& out,
+               std::span<const NodeId> skips, const PlanCache& cache,
+               WaveWorkspace& ws, Metrics& metrics, Rng& rng) {
   OpScope scope(metrics, "exchange");
   const ClusterId c = wave.cluster;
-  const std::size_t c_index = cache.index_by_slot[state.slot_index(c)];
+  const std::size_t c_index = cache.index_by_slot[wave.slot];
+  ++ws.epoch;
   std::uint64_t rounds_max = 0;
   const std::size_t c_size = cache.cluster_by_index[c_index]->size();
   const std::uint64_t c_neighborhood = cache.neighborhood_by_index[c_index];
+  const std::uint64_t c_flat = cache.flat_offset[c_index];
   const std::vector<NodeId>& snapshot =
       cache.cluster_by_index[c_index]->members();
   const bool sampled = params.walk_mode == WalkMode::kSampleExact;
-  for (const NodeId x : snapshot) {
+  for (std::size_t pos = 0; pos < snapshot.size(); ++pos) {
+    const NodeId x = snapshot[pos];
     if (std::find(skips.begin(), skips.end(), x) != skips.end()) continue;
     // Pick the counterpart cluster with randCl (law |C'|/n); a walk landing
     // back home is re-run (bounded retries). The sampled mode draws through
-    // the cache's O(1) alias table and charges the modeled walk cost; the
+    // the cache's O(1) alias sampler and charges the modeled walk cost; the
     // simulated mode runs the message-level walk against the snapshot.
     std::size_t partner_index = c_index;
     std::uint64_t chain_rounds = 0;
@@ -256,10 +255,9 @@ void plan_wave(const NowState& state, const NowParams& params,
       }
     }
     if (partner_index != c_index) {
-      const ClusterId partner = cache.id_by_index[partner_index];
-      if (std::find(wave.partners.begin(), wave.partners.end(), partner) ==
-          wave.partners.end()) {
-        wave.partners.push_back(partner);
+      if (ws.partner_epoch[partner_index] != ws.epoch) {
+        ws.partner_epoch[partner_index] = ws.epoch;
+        out.partners.push_back(cache.id_by_index[partner_index]);
       }
       const cluster::Cluster& to = *cache.cluster_by_index[partner_index];
       const std::uint64_t to_size = to.size();
@@ -268,8 +266,12 @@ void plan_wave(const NowState& state, const NowParams& params,
       const auto draw = cluster::rand_num_value(
           to.size(), to.size(), params.rand_num_mode, metrics, rng);
       chain_rounds += draw.cost.rounds;
-      wave.swaps.push_back(
-          PendingSwap{x, c, to.member_at(draw.value), partner});
+      out.swaps.push_back(PendingSwap{
+          x, to.member_at(draw.value), wave.slot,
+          cache.slot_by_index[partner_index],
+          static_cast<std::uint32_t>(c_flat + pos),
+          static_cast<std::uint32_t>(cache.flat_offset[partner_index] +
+                                     draw.value)});
       // One coalesced charge: the x <-> y handoff (2 units each way), the
       // composition deltas to both neighborhoods (2 units) and the overlay
       // info the newcomers receive — identical units to the sequential
@@ -354,7 +356,12 @@ NowSystem::NowSystem(const NowParams& params, Metrics& metrics,
       metrics_(metrics),
       seed_(seed),
       rng_(seed),
-      state_(make_over_params(params)) {}
+      state_(make_over_params(params)),
+      batch_(std::make_unique<BatchScratch>()) {}
+
+NowSystem::~NowSystem() = default;
+
+void NowSystem::invalidate_plan_cache() { batch_->cache.invalidate(); }
 
 InitReport NowSystem::initialize(std::size_t n0, std::size_t byzantine_count,
                                  InitTopology topology) {
@@ -521,7 +528,14 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel(
 ThreadPool& NowSystem::pool_for(std::size_t shards) {
   const std::size_t hardware = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
-  const std::size_t wanted = std::min(shards, hardware) - 1;
+  std::size_t wanted = std::min(shards, hardware) - 1;
+  // kOptimistic exists to exercise the parallel resolve; guarantee a real
+  // worker thread even on single-core hosts so the threaded paths
+  // (classification, edit gather) actually run threaded there — and so
+  // TSan sees them regardless of the runner's core count.
+  if (params_.resolve_mode == ResolveMode::kOptimistic && shards > 1) {
+    wanted = std::max<std::size_t>(wanted, 1);
+  }
   if (pool_ == nullptr || pool_->worker_count() < wanted) {
     pool_ = std::make_unique<ThreadPool>(wanted);
   }
@@ -544,6 +558,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   OpScope scope(metrics_, "batch");
   OpReport combined;
   const std::uint64_t batch_id = batch_counter_++;
+  BatchScratch& bs = *batch_;
 
   // --- Sequential setup: allocate joiner identities and corrupt the first
   // byzantine_joins of them, so ids and the Byzantine ground truth are
@@ -557,16 +572,33 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     joined.push_back(node);
   }
 
+  // --- Snapshot aggregates: the persistent PlanCache is rebuilt only after
+  // structural changes (splits/merges, legacy sequential operations);
+  // otherwise the previous commits' incremental maintenance kept it exact
+  // and only the cheap derived quantities (walk cost model, flat snapshot
+  // offsets) refresh, O(k) with a trivial constant instead of the full
+  // O(k + sum degrees) rebuild.
+  PlanCache& cache = bs.cache;
+  if (!cache.valid) {
+    cache.build(state_, params_);
+  } else {
+    cache.refresh(state_, params_);
+  }
+  assert(cache.consistent_with(state_));
+
   // --- Partition: leaves by home-cluster slot, joins (homeless until their
   // walk lands) round-robin. The assignment balances work; it can never
   // change results because plans read only the snapshot + their own stream.
   // Leavers are also grouped by home slot: their cluster's wave must not
   // shuffle a departing node onward.
+  const std::size_t slot_count = state_.slot_count();
   const std::size_t total_ops = joins + leaves.size();
   std::vector<PlannedOp> ops(total_ops);
   std::vector<Metrics> shard_metrics(shards);
   std::vector<std::vector<std::size_t>> assignment(shards);
-  std::vector<std::vector<NodeId>> leavers_by_slot(state_.slot_count());
+  if (bs.leavers_by_slot.size() < slot_count) {
+    bs.leavers_by_slot.resize(slot_count);
+  }
   for (std::size_t i = 0; i < joins; ++i) {
     assignment[i % shards].push_back(i);
   }
@@ -574,14 +606,15 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     assert(state_.is_placed(leaves[j]) && "leave of an unplaced node");
     const std::size_t slot = state_.slot_index(state_.home_of(leaves[j]));
     assignment[slot % shards].push_back(joins + j);
-    leavers_by_slot[slot].push_back(leaves[j]);
+    if (bs.leavers_by_slot[slot].empty()) {
+      bs.leaver_slots.push_back(static_cast<std::uint32_t>(slot));
+    }
+    bs.leavers_by_slot[slot].push_back(leaves[j]);
   }
 
   // --- Parallel planning against the frozen snapshot. NowState is only
-  // read from here until the commit phase below; the cache holds the
-  // snapshot aggregates every plan would otherwise recompute per swap.
+  // read from here until the commit phase below.
   const NowState& snapshot = state_;
-  const PlanCache cache = build_plan_cache(snapshot, params_);
   ThreadPool& pool = pool_for(shards);
   pool.parallel_for(shards, [&](std::size_t s) {
     for (const std::size_t index : assignment[s]) {
@@ -602,38 +635,50 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // nodes once per time step. First-touch operation order makes the wave
   // list and the per-wave RNG streams (numbered after the operations)
   // canonical, i.e. independent of the shard count.
-  std::vector<PlannedWave> primaries;
-  std::vector<std::size_t> wave_of_slot(state_.slot_count(),
-                                        static_cast<std::size_t>(-1));
+  if (bs.wave_of_slot.size() < slot_count) {
+    bs.wave_of_slot.resize(slot_count, kNoWave);
+  }
+  if (bs.wave_cache.size() < slot_count) bs.wave_cache.resize(slot_count);
+  bs.primaries.clear();
+  bs.secondaries.clear();
   if (params_.shuffle_enabled) {
     for (const PlannedOp& op : ops) {
       const std::size_t slot = state_.slot_index(op.target);
-      if (wave_of_slot[slot] == static_cast<std::size_t>(-1)) {
+      if (bs.wave_of_slot[slot] == kNoWave) {
         // A cluster whose every snapshot member is leaving has nobody left
         // to shuffle; skip its wave (mirrors the sequential engine's
         // size > 1 guard on the post-removal exchange).
         if (snapshot.cluster_at(op.target).size() <=
-            leavers_by_slot[slot].size()) {
+            bs.leavers_by_slot[slot].size()) {
           continue;
         }
-        wave_of_slot[slot] = primaries.size();
+        bs.wave_of_slot[slot] = bs.primaries.size();
         PlannedWave wave;
         wave.cluster = op.target;
+        wave.slot = static_cast<std::uint32_t>(slot);
         wave.stream = static_cast<std::uint64_t>(total_ops) +
-                      static_cast<std::uint64_t>(primaries.size());
-        primaries.push_back(std::move(wave));
+                      static_cast<std::uint64_t>(bs.primaries.size());
+        bs.primaries.push_back(wave);
+        bs.wave_cache[slot].swaps.clear();
+        bs.wave_cache[slot].partners.clear();
       }
-      if (!op.is_join && wave_of_slot[slot] != static_cast<std::size_t>(-1)) {
-        primaries[wave_of_slot[slot]].from_leave = true;
+      if (!op.is_join && bs.wave_of_slot[slot] != kNoWave) {
+        bs.primaries[bs.wave_of_slot[slot]].from_leave = true;
       }
     }
   }
+  if (bs.wave_ws.size() < shards) bs.wave_ws.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (bs.wave_ws[s].partner_epoch.size() < cache.id_by_index.size()) {
+      bs.wave_ws[s].partner_epoch.resize(cache.id_by_index.size(), 0);
+    }
+  }
   pool.parallel_for(shards, [&](std::size_t s) {
-    for (PlannedWave& wave : primaries) {
-      const std::size_t slot = state_.slot_index(wave.cluster);
-      if (slot % shards != s) continue;
+    for (PlannedWave& wave : bs.primaries) {
+      if (wave.slot % shards != s) continue;
       Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
-      plan_wave(snapshot, params_, wave, leavers_by_slot[slot], cache,
+      plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
+                bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
                 shard_metrics[s], wave_rng);
     }
   });
@@ -643,38 +688,40 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // 3's proof relies on this second wave), but again at most once per time
   // step — clusters already shuffled by a primary wave, or named by several
   // primaries, are not re-shuffled.
-  std::vector<PlannedWave> secondaries;
-  for (const PlannedWave& primary : primaries) {
+  for (const PlannedWave& primary : bs.primaries) {
     if (!primary.from_leave) continue;
-    for (const ClusterId partner : primary.partners) {
+    for (const ClusterId partner : bs.wave_cache[primary.slot].partners) {
       const std::size_t slot = state_.slot_index(partner);
-      if (wave_of_slot[slot] != static_cast<std::size_t>(-1)) continue;
+      if (bs.wave_of_slot[slot] != kNoWave) continue;
       // A partner can carry leavers only when its own primary wave was
       // skipped because everyone is leaving — nobody to shuffle, so no
       // secondary either (a partial-leaver cluster always has a primary).
       if (snapshot.cluster_at(partner).size() <=
-          leavers_by_slot[slot].size()) {
+          bs.leavers_by_slot[slot].size()) {
         continue;
       }
-      wave_of_slot[slot] = primaries.size() + secondaries.size();
+      bs.wave_of_slot[slot] = bs.primaries.size() + bs.secondaries.size();
       PlannedWave wave;
       wave.cluster = partner;
+      wave.slot = static_cast<std::uint32_t>(slot);
       wave.stream = static_cast<std::uint64_t>(total_ops) +
-                    static_cast<std::uint64_t>(primaries.size()) +
-                    static_cast<std::uint64_t>(secondaries.size());
-      secondaries.push_back(std::move(wave));
+                    static_cast<std::uint64_t>(bs.primaries.size()) +
+                    static_cast<std::uint64_t>(bs.secondaries.size());
+      bs.secondaries.push_back(wave);
+      bs.wave_cache[slot].swaps.clear();
+      bs.wave_cache[slot].partners.clear();
     }
   }
   pool.parallel_for(shards, [&](std::size_t s) {
-    for (PlannedWave& wave : secondaries) {
-      const std::size_t slot = state_.slot_index(wave.cluster);
-      if (slot % shards != s) continue;
+    for (PlannedWave& wave : bs.secondaries) {
+      if (wave.slot % shards != s) continue;
       Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
-      plan_wave(snapshot, params_, wave, leavers_by_slot[slot], cache,
+      plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
+                bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
                 shard_metrics[s], wave_rng);
     }
   });
-  combined.wave_count = primaries.size() + secondaries.size();
+  combined.wave_count = bs.primaries.size() + bs.secondaries.size();
 
   // --- Merge per-shard accounting into the caller's Metrics (inside the
   // open "batch" scope). Rounds: operations overlap in time (max), the two
@@ -688,38 +735,37 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     rounds_max = std::max(rounds_max, op.rounds);
   }
   std::uint64_t primary_rounds = 0;
-  for (const PlannedWave& wave : primaries) {
+  for (const PlannedWave& wave : bs.primaries) {
     primary_rounds = std::max(primary_rounds, wave.rounds);
   }
   std::uint64_t secondary_rounds = 0;
-  for (const PlannedWave& wave : secondaries) {
+  for (const PlannedWave& wave : bs.secondaries) {
     secondary_rounds = std::max(secondary_rounds, wave.rounds);
   }
   rounds_max += primary_rounds + secondary_rounds;
 
-  // --- Two-stage commit (DESIGN.md §7).
+  // --- Commit (DESIGN.md §7): optimistic parallel resolve + conflict
+  // replay, then the two parallel/sequential apply stages.
   std::uint64_t commit_rounds = 0;
   const auto commit_start = std::chrono::steady_clock::now();
   {
     OpScope commit(metrics_, "batch.commit");
 
-    // Resolve (sequential, O(moves)): order every membership move
-    // canonically — operations first, then primary-wave swaps, then
-    // secondary-wave swaps — into per-cluster-slot edit lists. Swap
-    // endpoints are re-resolved at their current homes (an earlier move may
-    // have relocated them); a swap is dropped only when an endpoint left in
-    // this batch or both now share a cluster. Nothing here depends on the
-    // shard count. node_home is written directly as moves resolve, so it
-    // doubles as the within-batch home map: one O(1) page walk per lookup
-    // or update, no separate scratch and no deferred write pass (measured:
-    // a second paged structure costs more than the ordering work itself).
-    const std::size_t slot_count = state_.slot_count();
-    if (edit_scratch_.size() < slot_count) edit_scratch_.resize(slot_count);
-    std::vector<std::size_t> touched;
-    std::vector<ClusterId> candidates;   // resized clusters, first touch
+    // Resolve, part 1 (sequential, O(ops)): the batch's operations, in
+    // canonical order — join adds + home writes, leave removes + ground
+    // truth erasure — into per-cluster-slot edit lists. node_home is
+    // written directly as moves resolve, so it doubles as the within-batch
+    // home map for the conflict replay below. Also collects the
+    // restructuring candidates in first-touch order (swaps are
+    // size-neutral, so only op targets can cross a threshold).
+    if (bs.edit_scratch.size() < slot_count) {
+      bs.edit_scratch.resize(slot_count);
+    }
+    std::vector<std::size_t> seq_touched;
+    std::vector<ClusterId> candidates;  // resized clusters, first touch
     const auto record = [&](std::size_t slot, NodeId n, bool add) {
-      if (edit_scratch_[slot].empty()) touched.push_back(slot);
-      edit_scratch_[slot].push_back(NowState::MemberEdit{n, add});
+      if (bs.edit_scratch[slot].empty()) seq_touched.push_back(slot);
+      bs.edit_scratch[slot].push_back(NowState::MemberEdit{n, add});
     };
     for (const PlannedOp& op : ops) {
       if (std::find(candidates.begin(), candidates.end(), op.target) ==
@@ -737,62 +783,260 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
         state_.clear_home(op.node);
       }
     }
-    const auto resolve_swaps = [&](const std::vector<PlannedWave>& waves) {
-      for (const PlannedWave& wave : waves) {
-        for (const PendingSwap& swap : wave.swaps) {
-          const ClusterId x_home = state_.home_of(swap.x);
-          const ClusterId y_home = state_.home_of(swap.y);
-          if (!x_home.valid() || !y_home.valid() || x_home == y_home) {
-            ++combined.conflicts;
-            continue;
-          }
-          const std::size_t x_slot = state_.slot_index(x_home);
-          const std::size_t y_slot = state_.slot_index(y_home);
-          record(x_slot, swap.x, /*add=*/false);
-          record(y_slot, swap.x, /*add=*/true);
-          record(y_slot, swap.y, /*add=*/false);
-          record(x_slot, swap.y, /*add=*/true);
-          state_.commit_home(swap.x, y_home);
-          state_.commit_home(swap.y, x_home);
+
+    // Resolve, part 2 — OPTIMISTIC RESOLVE (DESIGN.md §7). A footprint
+    // pass counts, per flat snapshot position, how many planned moves
+    // touch each node (and marks the batch's leavers); swaps whose
+    // endpoints are each touched exactly once resolve WITHOUT consulting
+    // node_home — x is never relocated by an earlier move (a leaver x is
+    // excluded from its wave; joiners are absent from the snapshot) and
+    // y's home is its snapshot cluster unless y left, so the canonical
+    // sequential outcome is: drop iff y is a leaver, apply at the planned
+    // slots otherwise. The footprint-flagged remainder re-resolves
+    // sequentially in canonical order at the nodes' *current* homes,
+    // exactly like the historical sequential resolve. Three bit-identical
+    // execution strategies (ResolveMode):
+    //
+    //   * PARALLEL (kAuto with pool workers, or kOptimistic): shard-
+    //     parallel classification writes per-swap fates + disjoint
+    //     node_home entries, the flagged remainder replays sequentially,
+    //     and stage-1 workers gather their slots' edits from the fates.
+    //   * SEQUENTIAL (kAuto without pool workers, or kSequential): the
+    //     canonical resolve — every swap re-resolves at the nodes' current
+    //     homes (resolve_replays stays 0 here). A planned-slot fast path
+    //     (homes still match the plan, the overwhelmingly common case)
+    //     skips the per-swap paged slot lookups; measured faster on one
+    //     hardware thread than paying the footprint passes
+    //     (BM_JoinLeaveCycle's resolve-mode axis tracks all three).
+    //
+    // Outcomes are provably identical swap by swap, so the committed state
+    // is independent of both the strategy and the shard count.
+    std::vector<const PlannedWave*>& all_waves = bs.all_waves;
+    all_waves.clear();
+    all_waves.reserve(bs.primaries.size() + bs.secondaries.size());
+    for (const PlannedWave& wave : bs.primaries) all_waves.push_back(&wave);
+    for (const PlannedWave& wave : bs.secondaries) {
+      all_waves.push_back(&wave);
+    }
+    const bool pooled = pool.worker_count() > 0 && shards > 1;
+    const bool parallel =
+        params_.resolve_mode == ResolveMode::kOptimistic ||
+        (params_.resolve_mode == ResolveMode::kAuto && pooled);
+    const bool gather = parallel && pooled;
+    const auto cluster_of_slot = [&cache](std::uint32_t slot) {
+      return cache.id_by_index[cache.index_by_slot[slot]];
+    };
+    /// The edit shape of one applied swap, shared by every strategy's
+    /// recording site (sequential fast path, single-thread scatter,
+    /// parallel gather) so it can never diverge between them: x moves
+    /// from its planned home to the partner's, y the other way.
+    const auto record_swap_edits = [](auto&& sink, const PendingSwap& swap) {
+      sink(swap.from_slot, swap.x, /*add=*/false);
+      sink(swap.to_slot, swap.x, /*add=*/true);
+      sink(swap.to_slot, swap.y, /*add=*/false);
+      sink(swap.from_slot, swap.y, /*add=*/true);
+    };
+    const auto mark_footprints = [&] {
+      ++bs.foot_epoch;
+      if (bs.foot.size() < cache.total_weight) {
+        bs.foot.resize(cache.total_weight, 0);
+      }
+      for (const std::uint32_t slot : bs.leaver_slots) {
+        const std::size_t index = cache.index_by_slot[slot];
+        const cluster::Cluster& home = *cache.cluster_by_index[index];
+        for (const NodeId leaver : bs.leavers_by_slot[slot]) {
+          bs.foot_mark_leaver(cache.flat_offset[index] +
+                              home.index_of(leaver));
+        }
+      }
+      for (const PlannedWave* wave : all_waves) {
+        for (const PendingSwap& swap : bs.wave_cache[wave->slot].swaps) {
+          bs.foot_count_move(swap.x_flat);
+          bs.foot_count_move(swap.y_flat);
         }
       }
     };
-    resolve_swaps(primaries);
-    resolve_swaps(secondaries);
-
-    // Stage 1 (parallel): slots are partitioned into CONTIGUOUS blocks (one
-    // per shard) and each worker applies its clusters' member edits;
-    // cluster size changes are accumulated per shard, not written to the
-    // Fenwick mirror. Block (not mod-K) ownership keeps each worker's
-    // stores in disjoint cache-line ranges of the slot table — interleaved
-    // ownership false-shares, adjacent slots sit on one line. Workers also
-    // empty their slots' scratch buffers (capacity kept for the next
-    // batch). The partition choice cannot affect results: per-slot edit
-    // sequences are fixed by the resolve above, whoever applies them.
-    const std::size_t slot_block = (slot_count + shards - 1) / shards;
-    if (edit_workspaces_.size() < shards) edit_workspaces_.resize(shards);
-    if (delta_scratch_.size() < shards) delta_scratch_.resize(shards);
-    for (std::size_t s = 0; s < shards; ++s) delta_scratch_[s].clear();
-    pool.parallel_for(shards, [&](std::size_t s) {
-      for (const std::size_t slot : touched) {
-        if (slot / slot_block != s) continue;
-        const std::int64_t delta = state_.apply_member_edits(
-            slot, edit_scratch_[slot], edit_workspaces_[s]);
-        if (delta != 0) delta_scratch_[s].emplace_back(slot, delta);
-        edit_scratch_[slot].clear();
+    /// The historical per-swap rule, shared by the sequential strategy and
+    /// the conflict replays: re-resolve at current homes, drop when an
+    /// endpoint left or both collapsed into one cluster.
+    const auto resolve_at_current_homes = [&](const PendingSwap& swap) {
+      const ClusterId x_home = state_.home_of(swap.x);
+      const ClusterId y_home = state_.home_of(swap.y);
+      if (!x_home.valid() || !y_home.valid() || x_home == y_home) {
+        ++combined.conflicts;
+        return;
       }
+      const std::size_t x_slot = state_.slot_index(x_home);
+      const std::size_t y_slot = state_.slot_index(y_home);
+      record(x_slot, swap.x, /*add=*/false);
+      record(y_slot, swap.x, /*add=*/true);
+      record(y_slot, swap.y, /*add=*/false);
+      record(x_slot, swap.y, /*add=*/true);
+      state_.commit_home(swap.x, y_home);
+      state_.commit_home(swap.y, x_home);
+    };
+    std::vector<std::size_t>& wave_swap_offset = bs.wave_swap_offset;
+    if (parallel) {
+      wave_swap_offset.resize(all_waves.size());
+      std::size_t total_swaps = 0;
+      for (std::size_t w = 0; w < all_waves.size(); ++w) {
+        wave_swap_offset[w] = total_swaps;
+        total_swaps += bs.wave_cache[all_waves[w]->slot].swaps.size();
+      }
+      mark_footprints();
+      bs.fate.resize(total_swaps);
+      std::vector<std::size_t> shard_drops(shards, 0);
+      std::vector<std::size_t> shard_replays(shards, 0);
+      pool.parallel_for(shards, [&](std::size_t s) {
+        std::size_t drops = 0;
+        std::size_t replays = 0;
+        for (std::size_t w = 0; w < all_waves.size(); ++w) {
+          if (w % shards != s) continue;
+          const auto& swaps = bs.wave_cache[all_waves[w]->slot].swaps;
+          std::uint8_t* fate = bs.fate.data() + wave_swap_offset[w];
+          for (std::size_t i = 0; i < swaps.size(); ++i) {
+            const PendingSwap& swap = swaps[i];
+            const std::uint64_t x_foot = bs.foot_value(swap.x_flat);
+            const std::uint64_t y_foot = bs.foot_value(swap.y_flat);
+            if ((x_foot & 0x3) > 1 || (y_foot & 0x3) > 1) {
+              fate[i] = kFateReplayed;
+              ++replays;
+              continue;
+            }
+            if ((y_foot & 0x8) != 0) {  // the partner leaves this batch
+              fate[i] = kFateDrop;
+              ++drops;
+              continue;
+            }
+            fate[i] = kFateApply;
+            state_.commit_home(swap.x, cluster_of_slot(swap.to_slot));
+            state_.commit_home(swap.y, cluster_of_slot(swap.from_slot));
+          }
+        }
+        shard_drops[s] = drops;
+        shard_replays[s] = replays;
+      });
+      for (std::size_t s = 0; s < shards; ++s) {
+        combined.conflicts += shard_drops[s];
+        combined.resolve_replays += shard_replays[s];
+      }
+
+      // Conflict replay (sequential, canonical order): the rare swaps
+      // whose endpoints collide re-resolve at the nodes' *current* homes;
+      // a swap is dropped only when an endpoint left in this batch or
+      // both now share a cluster — the historical sequential-resolve rule.
+      if (combined.resolve_replays > 0) {
+        for (std::size_t w = 0; w < all_waves.size(); ++w) {
+          const auto& swaps = bs.wave_cache[all_waves[w]->slot].swaps;
+          const std::uint8_t* fate = bs.fate.data() + wave_swap_offset[w];
+          for (std::size_t i = 0; i < swaps.size(); ++i) {
+            if (fate[i] == kFateReplayed) resolve_at_current_homes(swaps[i]);
+          }
+        }
+      }
+    } else {
+      for (const PlannedWave* wave : all_waves) {
+        const auto& swaps = bs.wave_cache[wave->slot].swaps;
+        for (std::size_t i = 0; i < swaps.size(); ++i) {
+          const PendingSwap& swap = swaps[i];
+          // Fast path: both endpoints still live at their planned homes
+          // (no earlier move touched them — the overwhelmingly common
+          // case), so the planned u32 slots apply directly and the paged
+          // slot lookups are skipped. Identical outcome to the general
+          // rule below, which re-reads the homes it needs.
+          const ClusterId from_id = cluster_of_slot(swap.from_slot);
+          const ClusterId to_id = cluster_of_slot(swap.to_slot);
+          if (state_.home_of(swap.x) == from_id &&
+              state_.home_of(swap.y) == to_id) {
+            record_swap_edits(record, swap);
+            state_.commit_home(swap.x, to_id);
+            state_.commit_home(swap.y, from_id);
+            continue;
+          }
+          resolve_at_current_homes(swap);
+        }
+      }
+    }
+
+    // Stage 1 (parallel): slots are partitioned into CONTIGUOUS blocks
+    // (one per shard); each worker first GATHERS its block's share of the
+    // optimistically applied swaps' edits from the fate array (scanning in
+    // canonical order, so per-slot edit lists are identical whichever
+    // strategy or worker produces them) and then applies its clusters'
+    // member edits. Cluster size changes are accumulated per shard, not
+    // written to the Fenwick mirror. Block (not mod-K) ownership keeps
+    // each worker's stores in disjoint cache-line ranges of the slot
+    // table. With no pool workers the K gather scans would run back to
+    // back on one thread, so the single-threaded path scatters all edits
+    // in one sequential pass instead — same lists, same results.
+    const std::size_t slot_block = (slot_count + shards - 1) / shards;
+    if (bs.edit_workspaces.size() < shards) {
+      bs.edit_workspaces.resize(shards);
+    }
+    if (bs.delta_scratch.size() < shards) bs.delta_scratch.resize(shards);
+    if (bs.touched_scratch.size() < shards) {
+      bs.touched_scratch.resize(shards);
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      bs.delta_scratch[s].clear();
+      bs.touched_scratch[s].clear();
+    }
+    if (parallel && !gather) {
+      for (std::size_t w = 0; w < all_waves.size(); ++w) {
+        const auto& swaps = bs.wave_cache[all_waves[w]->slot].swaps;
+        const std::uint8_t* fate = bs.fate.data() + wave_swap_offset[w];
+        for (std::size_t i = 0; i < swaps.size(); ++i) {
+          if (fate[i] == kFateApply) record_swap_edits(record, swaps[i]);
+        }
+      }
+    }
+    pool.parallel_for(shards, [&](std::size_t s) {
+      if (gather) {
+        const std::size_t lo = s * slot_block;
+        const std::size_t hi = lo + slot_block;
+        auto& touched = bs.touched_scratch[s];
+        const auto gather_edit = [&](std::uint32_t slot, NodeId n,
+                                     bool add) {
+          if (slot < lo || slot >= hi) return;
+          if (bs.edit_scratch[slot].empty()) touched.push_back(slot);
+          bs.edit_scratch[slot].push_back(NowState::MemberEdit{n, add});
+        };
+        for (std::size_t w = 0; w < all_waves.size(); ++w) {
+          const auto& swaps = bs.wave_cache[all_waves[w]->slot].swaps;
+          const std::uint8_t* fate = bs.fate.data() + wave_swap_offset[w];
+          for (std::size_t i = 0; i < swaps.size(); ++i) {
+            if (fate[i] == kFateApply) record_swap_edits(gather_edit, swaps[i]);
+          }
+        }
+      }
+      const auto apply = [&](std::size_t slot) {
+        const std::int64_t delta = state_.apply_member_edits(
+            slot, bs.edit_scratch[slot], bs.edit_workspaces[s]);
+        if (delta != 0) bs.delta_scratch[s].emplace_back(slot, delta);
+        bs.edit_scratch[slot].clear();
+      };
+      for (const std::size_t slot : seq_touched) {
+        if (slot / slot_block == s) apply(slot);
+      }
+      for (const std::size_t slot : bs.touched_scratch[s]) apply(slot);
     });
 
     // Stage 2 (sequential): merge the per-shard size deltas into the
     // Fenwick mirror in one O(k)-bounded pass, reconcile the placed-node
     // count, then run the deferred splits/merges on every cluster whose
-    // size changed, in first-touch order. Swaps are size-neutral, so only
-    // join targets and leave homes can have crossed a threshold.
+    // size changed, in first-touch order.
     std::vector<std::pair<std::size_t, std::int64_t>> all_deltas;
     for (std::size_t s = 0; s < shards; ++s) {
-      all_deltas.insert(all_deltas.end(), delta_scratch_[s].begin(),
-                        delta_scratch_[s].end());
+      all_deltas.insert(all_deltas.end(), bs.delta_scratch[s].begin(),
+                        bs.delta_scratch[s].end());
     }
+    // Canonical (ascending-slot) order: the concatenation above depends on
+    // the shard count's slot-block partition, and while the Fenwick adds
+    // commute, the PlanCache's alias dirty overlay records these slots in
+    // a LIST whose order is observable through draw_biased's dirty-branch
+    // linear scan — an order that must therefore be shard-count
+    // independent. Slots are unique per batch (one owner each).
+    std::sort(all_deltas.begin(), all_deltas.end());
     state_.apply_size_deltas(all_deltas);
     state_.adjust_placed_count(static_cast<std::int64_t>(joins) -
                                static_cast<std::int64_t>(leaves.size()));
@@ -811,11 +1055,39 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     }
     metrics_.add_rounds(commit_rounds);
     combined.commit_cost = commit.cost();
+
+    // Cache maintenance: a structure-preserving batch folds the very size
+    // deltas stage 2 just applied into the persistent PlanCache (patching
+    // every overlay neighbor's neighborhood population and the alias
+    // sampler's dirty overlay); any restructuring invalidates it and the
+    // next batch rebuilds.
+    if (combined.splits > 0 || combined.merges > 0 ||
+        combined.rejoins > 0) {
+      cache.invalidate();
+    } else if (cache.valid) {
+      for (const auto& [slot, delta] : all_deltas) {
+        cache.apply_size_delta(state_, slot, delta);
+      }
+      cache.maybe_rebuild_alias();
+    }
   }
   combined.commit_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - commit_start)
           .count());
+
+  // Reset the per-batch slot markers so the next batch starts clean
+  // without O(slot_count) clears.
+  for (const PlannedWave& wave : bs.primaries) {
+    bs.wave_of_slot[wave.slot] = kNoWave;
+  }
+  for (const PlannedWave& wave : bs.secondaries) {
+    bs.wave_of_slot[wave.slot] = kNoWave;
+  }
+  for (const std::uint32_t slot : bs.leaver_slots) {
+    bs.leavers_by_slot[slot].clear();
+  }
+  bs.leaver_slots.clear();
 
   combined.cost = scope.cost();
   // Planned operations and waves overlap in time (max within each tier);
@@ -851,6 +1123,7 @@ over::Overlay::Sampler NowSystem::overlay_sampler(std::uint64_t* rounds_max) {
 Cost NowSystem::exchange_all(ClusterId c,
                              std::vector<ClusterId>* partners_out) {
   OpScope scope(metrics_, "exchange");
+  batch_->cache.invalidate();  // sequential mutation outside the batch path
   std::uint64_t rounds_max = 0;
 
   const std::vector<NodeId> snapshot = state_.cluster_at(c).members();
@@ -955,6 +1228,7 @@ std::uint64_t NowSystem::place_node(NodeId node, OpReport& report) {
 std::pair<NodeId, OpReport> NowSystem::join(bool byzantine_node) {
   assert(initialized_);
   OpScope scope(metrics_, "join");
+  batch_->cache.invalidate();  // legacy path mutates outside the commit
   OpReport report;
 
   const NodeId node = state_.fresh_node_id();
@@ -970,6 +1244,7 @@ std::pair<NodeId, OpReport> NowSystem::join(bool byzantine_node) {
 OpReport NowSystem::leave(NodeId node) {
   assert(initialized_);
   OpScope scope(metrics_, "leave");
+  batch_->cache.invalidate();  // legacy path mutates outside the commit
   OpReport report;
 
   const ClusterId c = state_.home_of(node);

@@ -70,6 +70,12 @@ struct OpReport {
   /// (applied at the nodes' *current* homes); a drop happens only when one
   /// of the two nodes left in this batch or both ended up in one cluster.
   std::size_t conflicts = 0;
+  /// Sharded batches only: swaps the optimistic parallel resolve handed to
+  /// the sequential conflict pass (an endpoint was touched by more than
+  /// one planned move, so the swap must be re-resolved in canonical order
+  /// at the nodes' then-current homes). Everything else resolved in
+  /// parallel. Deterministic — identical for every shard count.
+  std::size_t resolve_replays = 0;
   /// Sharded batches only: each shard's planning-phase cost (messages are
   /// exact; rounds are the shard's sequential sum, the batch's round count
   /// below combines per-op rounds by max). Sums to cost - commit_cost.
@@ -90,9 +96,18 @@ struct OpReport {
   std::uint64_t commit_ns = 0;
 };
 
+/// Opaque per-system batch-engine state (src/core/now.cpp): the persistent
+/// incremental PlanCache, the per-cluster wave caches the wave scheduler
+/// reuses across time steps, and the commit engine's scratch buffers.
+struct BatchScratch;
+
 class NowSystem {
  public:
   NowSystem(const NowParams& params, Metrics& metrics, std::uint64_t seed);
+  ~NowSystem();
+
+  NowSystem(const NowSystem&) = delete;
+  NowSystem& operator=(const NowSystem&) = delete;
 
   /// Runs the initialization phase with n0 nodes, of which `byzantine_count`
   /// (chosen uniformly — the static adversary corrupts before any protocol
@@ -134,18 +149,23 @@ class NowSystem {
   /// exactly one full exchange wave per cluster per time step (the paper's
   /// semantics — a cluster shuffles all of its nodes once), each wave on its
   /// own derived stream; waves induced by a leave additionally schedule one
-  /// deduplicated secondary wave per partner cluster. Commit is two-stage:
-  /// a sequential resolve pass orders every membership move canonically
-  /// (writing node_home as it goes), stage 1 applies the per-cluster
+  /// deduplicated secondary wave per partner cluster. Planning reads the
+  /// persistent PlanCache (core/plan_cache.hpp), maintained incrementally
+  /// across batches. Commit resolves OPTIMISTICALLY: swaps whose endpoints
+  /// are touched by exactly one planned move resolve in parallel against
+  /// the snapshot (their outcome provably equals the canonical sequential
+  /// one); the footprint-detected conflicting remainder is re-resolved
+  /// sequentially in canonical order. Stage 1 then applies the per-cluster
   /// member edits shard-parallel against contiguous slot blocks, and
   /// stage 2 merges the per-shard size deltas into the Fenwick mirror and
-  /// runs the deferred splits/merges sequentially. Because plans depend only on the snapshot
-  /// and per-op/per-wave streams, and the resolve order is canonical, the
-  /// resulting state is IDENTICAL for every shard count (shards = 1
-  /// included); the shard count only changes wall-clock. This entry point
-  /// always uses the sharded engine, so `shards = 1` here is the
-  /// equivalence baseline, while step_parallel(..., shards = 1) is the
-  /// legacy sequential engine.
+  /// runs the deferred splits/merges sequentially. Because plans depend
+  /// only on the snapshot and per-op/per-wave streams, the wave list is
+  /// canonical, and the resolve outcome is order-equivalent to the
+  /// canonical sequential pass, the resulting state is IDENTICAL for every
+  /// shard count (shards = 1 included); the shard count only changes
+  /// wall-clock. This entry point always uses the sharded engine, so
+  /// `shards = 1` here is the equivalence baseline, while
+  /// step_parallel(..., shards = 1) is the legacy sequential engine.
   std::pair<std::vector<NodeId>, OpReport> step_parallel_sharded(
       std::size_t joins, const std::vector<NodeId>& leaves,
       bool byzantine_joiners, std::size_t shards);
@@ -182,6 +202,13 @@ class NowSystem {
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  /// Drops the persistent PlanCache; the next sharded batch rebuilds it
+  /// from scratch. The cache is maintained incrementally and invalidated
+  /// automatically on every structural change (split/merge, legacy
+  /// sequential operations), so this hook exists for tests and benches
+  /// that want to time or compare the full-rebuild path.
+  void invalidate_plan_cache();
+
  private:
   /// Places an existing node into the partition via Algorithm 1 (used by
   /// both fresh joins and post-merge re-joins). Returns rounds consumed.
@@ -210,15 +237,12 @@ class NowSystem {
   std::uint64_t batch_counter_ = 0;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Commit-engine scratch reused across batches, so steady-state commits
-  // keep their buffer capacities instead of reallocating per step: the
-  // per-cluster-slot edit buffers (the resolve pass appends, the stage-1
-  // worker that owns the slot empties them) and the per-shard stage-1
-  // workspaces (merge buffers + signed size-delta arrays).
-  std::vector<std::vector<NowState::MemberEdit>> edit_scratch_;
-  std::vector<NowState::EditScratch> edit_workspaces_;
-  std::vector<std::vector<std::pair<std::size_t, std::int64_t>>>
-      delta_scratch_;
+  // Batch-engine state persisting across time steps (see now.cpp): the
+  // incrementally maintained PlanCache, the per-cluster wave caches
+  // (each cluster's swap/partner buffers, reused by the wave scheduler
+  // across steps), the commit's footprint counters and the per-slot /
+  // per-shard edit scratch.
+  std::unique_ptr<BatchScratch> batch_;
 };
 
 }  // namespace now::core

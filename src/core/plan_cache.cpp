@@ -1,0 +1,211 @@
+#include "core/plan_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now::core {
+
+std::uint64_t neighborhood_population(const NowState& state, ClusterId c) {
+  std::uint64_t total = 0;
+  for (const graph::Vertex v : state.overlay.graph().neighbors(c.value())) {
+    total += state.cluster_at(ClusterId{v}).size();
+  }
+  return total;
+}
+
+void PlanCache::build(const NowState& state, const NowParams& params) {
+  const std::size_t k = state.num_clusters();
+  id_by_index.clear();
+  cluster_by_index.clear();
+  neighborhood_by_index.clear();
+  slot_by_index.clear();
+  current_weight.clear();
+  id_by_index.reserve(k);
+  cluster_by_index.reserve(k);
+  neighborhood_by_index.reserve(k);
+  slot_by_index.reserve(k);
+  current_weight.reserve(k);
+  index_by_slot.assign(state.slot_count(), 0);
+  neighborhood_by_slot.assign(state.slot_count(), 0);
+  total_weight = 0;
+  for (const ClusterId c : state.cluster_ids()) {
+    const std::size_t slot = state.slot_index(c);
+    const std::uint64_t neighborhood = neighborhood_population(state, c);
+    neighborhood_by_slot[slot] = neighborhood;
+    const std::size_t index = id_by_index.size();
+    index_by_slot[slot] = static_cast<std::uint32_t>(index);
+    slot_by_index.push_back(static_cast<std::uint32_t>(slot));
+    id_by_index.push_back(c);
+    cluster_by_index.push_back(&state.cluster_at(c));
+    neighborhood_by_index.push_back(neighborhood);
+    const std::uint64_t size = state.cluster_at(c).size();
+    current_weight.push_back(size);
+    total_weight += size;
+  }
+  rebuild_alias();
+  refresh(state, params);
+  valid = true;
+}
+
+void PlanCache::refresh(const NowState& state, const NowParams& params) {
+  if (params.walk_mode == WalkMode::kSampleExact) {
+    walk = rand_cl_cost_model(state, params);
+  }
+  flat_offset.resize(current_weight.size());
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < current_weight.size(); ++i) {
+    flat_offset[i] = offset;
+    offset += current_weight[i];
+  }
+  assert(offset == total_weight);
+}
+
+void PlanCache::apply_size_delta(const NowState& state, std::size_t slot,
+                                 std::int64_t delta) {
+  if (delta == 0) return;
+  const std::uint32_t index = index_by_slot[slot];
+  const std::uint64_t updated = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(current_weight[index]) + delta);
+  current_weight[index] = updated;
+  total_weight = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(total_weight) + delta);
+  if (dirty_flag[index] == 0) {
+    dirty_flag[index] = 1;
+    dirty_list.push_back(index);
+    dirty_table_mass += table_weight[index];
+    dirty_current_mass += updated;
+  } else {
+    dirty_current_mass = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(dirty_current_mass) + delta);
+  }
+  // A dirty entry whose size drifted back to the table weight could be
+  // un-dirtied; not worth the bookkeeping — the rebuild threshold absorbs
+  // the rare case.
+
+  // Patch every overlay neighbor's neighborhood population. The overlay is
+  // untouched between structure-preserving batches, so adjacency is
+  // exactly what both the live state and the stale tables agree on.
+  const ClusterId changed = id_by_index[index];
+  for (const graph::Vertex v :
+       state.overlay.graph().neighbors(changed.value())) {
+    const std::size_t neighbor_slot = state.slot_index(ClusterId{v});
+    neighborhood_by_slot[neighbor_slot] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(neighborhood_by_slot[neighbor_slot]) +
+        delta);
+    neighborhood_by_index[index_by_slot[neighbor_slot]] =
+        neighborhood_by_slot[neighbor_slot];
+  }
+}
+
+void PlanCache::maybe_rebuild_alias() {
+  // Keep the clean-branch acceptance >= 15/16 and the dirty scan short
+  // (every size-biased draw pays the dirty branch with probability
+  // dirty_current_mass / n, and that branch scans the list linearly); a
+  // rebuild is a cheap O(k) Vose pass, so the thresholds are tight — a
+  // few batches still share one rebuild while draws stay ~O(1).
+  if (dirty_table_mass * 16 >= table_total ||
+      dirty_list.size() * 16 >= id_by_index.size()) {
+    rebuild_alias();
+  }
+}
+
+void PlanCache::rebuild_alias() {
+  const std::size_t k = current_weight.size();
+  table_weight = current_weight;
+  table_total = total_weight;
+  dirty_list.clear();
+  dirty_flag.assign(k, 0);
+  dirty_table_mass = 0;
+  dirty_current_mass = 0;
+
+  // Vose construction on integer weights (scaled by k so every column ends
+  // with a threshold in [0, W] and one alias); exactness needs no floating
+  // point.
+  const std::uint64_t w = table_total;
+  std::vector<std::uint64_t> scaled(k);  // |C| * k, summing to n * k
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = table_weight[i] * k;
+  alias_threshold.assign(k, w);
+  alias_index.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    alias_index[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < w ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    alias_threshold[s] = scaled[s];
+    alias_index[s] = l;
+    scaled[l] -= w - scaled[s];
+    (scaled[l] < w ? small : large).push_back(l);
+  }
+  // Leftover columns (all weight variance consumed) keep threshold = W.
+}
+
+std::size_t PlanCache::draw_biased(Rng& rng) const {
+  if (dirty_list.empty()) {
+    // Exact stale-free path: two uniform draws + two array loads.
+    const std::size_t column = rng.uniform(alias_threshold.size());
+    const std::uint64_t toss = rng.uniform(table_total);
+    return toss < alias_threshold[column] ? column : alias_index[column];
+  }
+  const std::uint64_t clean_mass = total_weight - dirty_current_mass;
+  std::uint64_t toss = rng.uniform(total_weight);
+  if (toss < clean_mass) {
+    // Clean branch: P(i | clean) = w_i / clean_mass via rejection on the
+    // stale table (clean weights are unchanged since the table was built),
+    // so P(i) = clean_mass / n * w_i / clean_mass = w_i / n exactly.
+    while (true) {
+      const std::size_t column = rng.uniform(alias_threshold.size());
+      const std::uint64_t t2 = rng.uniform(table_total);
+      const std::size_t i =
+          t2 < alias_threshold[column] ? column : alias_index[column];
+      if (dirty_flag[i] == 0) return i;
+    }
+  }
+  // Dirty branch: short linear scan by current weight.
+  toss -= clean_mass;
+  for (const std::uint32_t i : dirty_list) {
+    const std::uint64_t weight = current_weight[i];
+    if (toss < weight) return i;
+    toss -= weight;
+  }
+  assert(false && "dirty masses out of sync");
+  return dirty_list.back();
+}
+
+bool PlanCache::consistent_with(const NowState& state) const {
+  if (!valid) return false;
+  if (id_by_index.size() != state.num_clusters()) return false;
+  std::uint64_t mass = 0;
+  for (std::size_t i = 0; i < id_by_index.size(); ++i) {
+    const ClusterId c = id_by_index[i];
+    if (!state.has_cluster(c)) return false;
+    const std::size_t slot = state.slot_index(c);
+    if (slot_by_index[i] != slot || index_by_slot[slot] != i) return false;
+    if (cluster_by_index[i] != &state.cluster_at(c)) return false;
+    if (current_weight[i] != state.cluster_at(c).size()) return false;
+    if (neighborhood_by_slot[slot] != neighborhood_population(state, c)) {
+      return false;
+    }
+    if (neighborhood_by_index[i] != neighborhood_by_slot[slot]) return false;
+    mass += current_weight[i];
+  }
+  if (mass != total_weight || total_weight != state.num_nodes()) return false;
+  std::uint64_t dirty_current = 0;
+  std::uint64_t dirty_table = 0;
+  for (const std::uint32_t i : dirty_list) {
+    if (dirty_flag[i] == 0) return false;
+    dirty_current += current_weight[i];
+    dirty_table += table_weight[i];
+  }
+  return dirty_current == dirty_current_mass &&
+         dirty_table == dirty_table_mass;
+}
+
+}  // namespace now::core

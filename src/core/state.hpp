@@ -183,7 +183,9 @@ class NowState {
 
   // ------------------------------------------------- parallel commit (§7)
   //
-  // The sharded batch commit resolves every membership move sequentially
+  // The sharded batch commit resolves membership moves OPTIMISTICALLY:
+  // conflict-free swaps resolve shard-parallel (commit_home writes to
+  // disjoint nodes), the footprint-flagged remainder replays sequentially
   // (commit_home / clear_home keep node_home current as it goes), then
   // stage 1 partitions the touched cluster slots into contiguous blocks and
   // lets each shard apply its clusters' member edits concurrently. These
@@ -262,9 +264,12 @@ class NowState {
     return delta;
   }
 
-  /// Writes a node's home as the sequential resolve pass orders its move —
-  /// node_home doubles as the commit's within-batch home map, so no
-  /// separate scratch structure (or deferred write pass) is needed.
+  /// Writes a node's home as the resolve decides its move — node_home
+  /// doubles as the commit's within-batch home map, so no separate scratch
+  /// structure (or deferred write pass) is needed. Safe to call from the
+  /// optimistic resolve's parallel workers because conflict-free swaps
+  /// touch disjoint nodes (distinct, pre-existing page entries); never
+  /// called concurrently for a node the sequential replay will read.
   void commit_home(NodeId node, ClusterId home) {
     node_home_.set(node.value(), home);
   }

@@ -37,6 +37,7 @@ struct ExpansionEstimate {
 /// Power iteration on the lazy walk matrix (so eigenvalues are nonnegative),
 /// deflated against the stationary direction; `iterations` controls accuracy.
 [[nodiscard]] ExpansionEstimate estimate_expansion(const Graph& g, Rng& rng,
-                                                   std::size_t iterations = 300);
+                                                   std::size_t iterations =
+                                                       300);
 
 }  // namespace now::graph

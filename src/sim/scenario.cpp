@@ -11,16 +11,59 @@ namespace now::sim {
 
 namespace {
 
+/// Forced-leave DoS victims (ScenarioConfig::batch_leave_quota): honest
+/// members of the worst (highest Byzantine fraction) cluster first — the
+/// batched form of the ForcedLeaveAdversary, stripping the cluster's honest
+/// majority while corrupted joiners queue up — then members of the smallest
+/// cluster, pushing it toward the merge threshold (restructuring DoS).
+/// Returns the number of victims appended (<= quota).
+std::size_t pick_forced_leave_victims(const core::NowSystem& system,
+                                      std::size_t quota,
+                                      std::vector<NodeId>& victims) {
+  const auto& state = system.state();
+  if (quota == 0 || system.num_clusters() < 2) return 0;
+  ClusterId worst = ClusterId::invalid();
+  ClusterId smallest = ClusterId::invalid();
+  double worst_fraction = -1.0;
+  std::size_t smallest_size = static_cast<std::size_t>(-1);
+  for (const ClusterId c : state.cluster_ids()) {
+    const auto& cl = state.cluster_at(c);
+    const double p = cluster::byzantine_fraction(cl, state.byzantine);
+    if (p > worst_fraction) {
+      worst_fraction = p;
+      worst = c;
+    }
+    if (cl.size() < smallest_size) {
+      smallest_size = cl.size();
+      smallest = c;
+    }
+  }
+  const std::size_t before = victims.size();
+  for (const NodeId member : state.cluster_at(worst).members()) {
+    if (victims.size() - before >= quota) break;
+    if (!state.byzantine.contains(member)) victims.push_back(member);
+  }
+  if (smallest != worst) {
+    for (const NodeId member : state.cluster_at(smallest).members()) {
+      if (victims.size() - before >= quota) break;
+      victims.push_back(member);
+    }
+  }
+  return victims.size() - before;
+}
+
 /// One time step of the batched adversary: corrupt a batch_byz_fraction of
-/// the joiners (within the static adversary's global budget tau * n) and,
-/// under BatchPlacement::kTargeted, churn the adversary's own misplaced
-/// nodes — Byzantine nodes outside the currently most-corrupted cluster
-/// leave so their replacements can re-roll the placement walk, the batched
-/// form of Section 3.3's join-leave attack.
-void run_adversarial_batch(const ScenarioConfig& config,
-                           const adversary::Adversary& adversary,
-                           core::NowSystem& system, std::size_t ops,
-                           Rng& rng) {
+/// the joiners (within the static adversary's global budget tau * n),
+/// force up to batch_leave_quota leave victims out of the worst/smallest
+/// clusters, and, under BatchPlacement::kTargeted, churn the adversary's
+/// own misplaced nodes — Byzantine nodes outside the currently
+/// most-corrupted cluster leave so their replacements can re-roll the
+/// placement walk, the batched form of Section 3.3's join-leave attack.
+/// Returns the number of forced-leave victims this step.
+std::size_t run_adversarial_batch(const ScenarioConfig& config,
+                                  const adversary::Adversary& adversary,
+                                  core::NowSystem& system, std::size_t ops,
+                                  Rng& rng) {
   const auto& state = system.state();
   const double budget =
       adversary.tau() * static_cast<double>(system.num_nodes() + ops);
@@ -33,6 +76,8 @@ void run_adversarial_batch(const ScenarioConfig& config,
                     config.batch_byz_fraction * static_cast<double>(ops)))});
 
   std::vector<NodeId> victims;
+  const std::size_t forced = pick_forced_leave_victims(
+      system, std::min(config.batch_leave_quota, ops), victims);
   if (config.batch_placement == BatchPlacement::kTargeted &&
       state.byzantine_total() > 0 && system.num_clusters() > 1) {
     // Full knowledge: target the cluster that is already worst.
@@ -47,28 +92,47 @@ void run_adversarial_batch(const ScenarioConfig& config,
       }
     }
     // Churn the adversary's misplaced nodes first (deterministic NodeSet
-    // order), keep the ones that already landed in the target.
+    // order), keep the ones that already landed in the target; skip any
+    // the forced-leave quota already claimed.
     for (const NodeId b : state.byzantine.items()) {
       if (victims.size() >= ops) break;
-      if (state.home_of(b) != target) victims.push_back(b);
+      if (state.home_of(b) == target) continue;
+      if (std::find(victims.begin(), victims.end(), b) != victims.end()) {
+        continue;
+      }
+      victims.push_back(b);
     }
-    // Fill the quota with uniform honest victims (distinct from each other;
-    // the Byzantine picks above can never collide with them).
-    const std::size_t byz_victims = victims.size();
+    // Fill the quota with uniform honest victims, distinct from every
+    // earlier pick (forced honest victims count against the honest pool).
+    std::size_t honest_victims = 0;
+    for (const NodeId v : victims) {
+      if (!state.byzantine.contains(v)) ++honest_victims;
+    }
     const std::size_t honest_pool =
         system.num_nodes() - state.byzantine_total();
-    while (victims.size() < ops &&
-           victims.size() - byz_victims < honest_pool) {
+    while (victims.size() < ops && honest_victims < honest_pool) {
       const NodeId candidate = state.random_honest_node(rng);
+      if (std::find(victims.begin(), victims.end(), candidate) ==
+          victims.end()) {
+        victims.push_back(candidate);
+        ++honest_victims;
+      }
+    }
+  } else if (forced == 0) {
+    victims = state.sample_distinct_nodes(rng, ops);
+  } else {
+    // Uniform remainder (Byzantine victims allowed, as in the quota-less
+    // path), distinct from the forced picks.
+    while (victims.size() < ops) {
+      const NodeId candidate = state.random_node(rng);
       if (std::find(victims.begin(), victims.end(), candidate) ==
           victims.end()) {
         victims.push_back(candidate);
       }
     }
-  } else {
-    victims = state.sample_distinct_nodes(rng, ops);
   }
   system.step_parallel_mixed(ops, byz_joins, victims, config.shards);
+  return forced;
 }
 
 }  // namespace
@@ -120,8 +184,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       const std::size_t ops = std::min(
           config.batch_ops,
           system.num_nodes() > 2 ? system.num_nodes() - 2 : 0);
-      if (config.batch_byz_fraction > 0.0) {
-        run_adversarial_batch(config, adversary, system, ops, driver_rng);
+      if (config.batch_byz_fraction > 0.0 || config.batch_leave_quota > 0) {
+        const std::size_t forced =
+            run_adversarial_batch(config, adversary, system, ops, driver_rng);
+        result.total_forced_leaves += forced;
+        result.max_step_forced_leaves =
+            std::max(result.max_step_forced_leaves, forced);
       } else {
         const std::vector<NodeId> victims =
             system.state().sample_distinct_nodes(driver_rng, ops);

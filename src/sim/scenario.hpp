@@ -52,6 +52,18 @@ struct ScenarioConfig {
   /// historical honest-batch behavior.
   double batch_byz_fraction = 0.0;
   BatchPlacement batch_placement = BatchPlacement::kUniform;
+
+  /// Batched forced-leave DoS quota: up to this many of each step's leave
+  /// victims are *forced* by the adversary instead of drawn uniformly —
+  /// honest members of the currently worst (highest Byzantine fraction)
+  /// cluster first (stripping its honest majority), then members of the
+  /// smallest cluster (pushing it toward the merge threshold, the
+  /// restructuring-DoS flavor). Capped at batch_ops per step; the
+  /// remainder of the quota-less leave slots stays uniform. 0 disables the
+  /// attack. Composes with batch_byz_fraction/batch_placement (corrupted
+  /// joiners + forced leaves is the paper's combined join-leave + DoS
+  /// regime under footnote *'s parallel operations).
+  std::size_t batch_leave_quota = 0;
 };
 
 struct InvariantSample {
@@ -81,6 +93,11 @@ struct ScenarioResult {
   /// Byzantine nodes alive at the end — lets callers check the static
   /// adversary's budget (<= tau * n) actually held, batched mode included.
   std::size_t final_byzantine = 0;
+  /// Batched forced-leave accounting: total victims the adversary forced
+  /// out across the run, and the largest number forced in any single step
+  /// (callers assert it never exceeds batch_leave_quota).
+  std::size_t total_forced_leaves = 0;
+  std::size_t max_step_forced_leaves = 0;
 };
 
 /// Runs the scenario. The same Metrics records every operation, so callers

@@ -156,7 +156,8 @@ TEST(RandNumTest, BulkDrawChargesModelMessages) {
   EXPECT_EQ(metrics.total().messages,
             rand_num_cost_model(15, RandNumMode::kFast).messages);
   EXPECT_EQ(metrics.total().rounds, 0u);  // rounds returned, not charged
-  EXPECT_EQ(draw.cost.rounds, rand_num_cost_model(15, RandNumMode::kFast).rounds);
+  EXPECT_EQ(draw.cost.rounds,
+            rand_num_cost_model(15, RandNumMode::kFast).rounds);
 }
 
 TEST(RandNumTest, CostModelMonotoneInSizeAndMode) {

@@ -223,6 +223,220 @@ TEST(ShardTest, ShardedBatchConservesNodesAndInvariants) {
   }
 }
 
+TEST(ShardTest, LeaveHeavyQuotaBatchesPreserveBitIdentity) {
+  // The forced-leave DoS regime: most of a batch's leaves are concentrated
+  // on one or two clusters (the scenario layer's batch_leave_quota targets
+  // the worst/smallest ones) while joins trickle in — the leave-heavy
+  // mixed batches the optimistic resolve must keep shard-count
+  // independent. Victims are drawn from a single cluster per round, plus a
+  // Byzantine joiner, across shards {1, 4, 8} and three seeds — with the
+  // optimistic resolve FORCED (kOptimistic guarantees a real pool worker,
+  // so the threaded classification/gather paths run even on 1-core boxes).
+  for (const std::uint64_t seed : {13ull, 37ull, 59ull}) {
+    constexpr std::size_t kShardAxis[] = {1, 4, 8};
+    NowParams p = shard_params();
+    p.resolve_mode = ResolveMode::kOptimistic;
+    std::vector<std::unique_ptr<Metrics>> metrics;
+    std::vector<std::unique_ptr<NowSystem>> systems;
+    for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+      metrics.push_back(std::make_unique<Metrics>());
+      systems.push_back(
+          std::make_unique<NowSystem>(p, *metrics.back(), seed));
+      systems.back()->initialize(1100, 110, InitTopology::kModeledSparse);
+    }
+
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::vector<NodeId>> joined(std::size(kShardAxis));
+      std::vector<OpReport> reports(std::size(kShardAxis));
+      for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+        // Leave-heavy: 4 joins vs 12 leaves, 10 of them members of one
+        // cluster (deterministic pick, rotating through the live-cluster
+        // list by round), the rest spread by a per-variant RNG with
+        // identical streams.
+        const auto& state = systems[v]->state();
+        const ClusterId target = state.cluster_ids()
+            [static_cast<std::size_t>(round) % state.cluster_ids().size()];
+        std::vector<NodeId> leaves;
+        for (const NodeId member : state.cluster_at(target).members()) {
+          if (leaves.size() >= 10) break;
+          leaves.push_back(member);
+        }
+        Rng fill{seed ^
+                 (std::uint64_t{0xF0F0} + static_cast<std::uint64_t>(round))};
+        while (leaves.size() < 12) {
+          const NodeId candidate = state.random_node(fill);
+          if (std::find(leaves.begin(), leaves.end(), candidate) ==
+              leaves.end()) {
+            leaves.push_back(candidate);
+          }
+        }
+        std::tie(joined[v], reports[v]) = systems[v]->step_parallel_mixed(
+            4, /*byzantine_joins=*/1, leaves, kShardAxis[v]);
+      }
+      for (std::size_t v = 1; v < std::size(kShardAxis); ++v) {
+        ASSERT_EQ(joined[0], joined[v])
+            << "seed " << seed << " round " << round;
+        EXPECT_EQ(reports[0].conflicts, reports[v].conflicts);
+        EXPECT_EQ(reports[0].wave_count, reports[v].wave_count);
+        EXPECT_EQ(reports[0].splits, reports[v].splits);
+        EXPECT_EQ(reports[0].merges, reports[v].merges);
+        EXPECT_EQ(reports[0].cost.rounds, reports[v].cost.rounds);
+      }
+    }
+
+    for (std::size_t v = 1; v < std::size(kShardAxis); ++v) {
+      EXPECT_EQ(partition_signature(*systems[0]),
+                partition_signature(*systems[v]));
+      for (const NodeId node : systems[0]->state().live_nodes()) {
+        ASSERT_EQ(systems[0]->state().home_of(node),
+                  systems[v]->state().home_of(node))
+            << "seed " << seed << " shards " << kShardAxis[v];
+      }
+      EXPECT_TRUE(systems[v]->check().ok);
+    }
+  }
+}
+
+TEST(ShardTest, ResolveStrategiesAreBitIdentical) {
+  // The tentpole guarantee: the optimistic (parallel, multi-pass) resolve
+  // and the canonical sequential resolve commit IDENTICAL states — the
+  // conflict-detection pass re-resolves exactly the swaps whose outcome
+  // could differ from the planned one. Forcing kOptimistic exercises the
+  // parallel engine's code path even on single-core boxes (where kAuto
+  // picks the sequential strategy).
+  constexpr ResolveMode kModes[] = {ResolveMode::kSequential,
+                                    ResolveMode::kOptimistic};
+  std::vector<std::unique_ptr<Metrics>> metrics;
+  std::vector<std::unique_ptr<NowSystem>> systems;
+  std::vector<Rng> victim_rngs;
+  for (const ResolveMode mode : kModes) {
+    NowParams p = shard_params();
+    p.resolve_mode = mode;
+    metrics.push_back(std::make_unique<Metrics>());
+    systems.push_back(
+        std::make_unique<NowSystem>(p, *metrics.back(), 83));
+    systems.back()->initialize(1000, 100, InitTopology::kModeledSparse);
+    victim_rngs.emplace_back(83 ^ 7);
+  }
+
+  std::size_t total_replays = 0;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::vector<NodeId>> joined(std::size(kModes));
+    std::vector<OpReport> reports(std::size(kModes));
+    for (std::size_t v = 0; v < std::size(kModes); ++v) {
+      const auto leaves = pick_victims(*systems[v], 9, victim_rngs[v]);
+      std::tie(joined[v], reports[v]) = systems[v]->step_parallel_mixed(
+          12, /*byzantine_joins=*/2, leaves, 4);
+    }
+    ASSERT_EQ(joined[0], joined[1]) << "round " << round;
+    EXPECT_EQ(reports[0].conflicts, reports[1].conflicts);
+    EXPECT_EQ(reports[0].wave_count, reports[1].wave_count);
+    EXPECT_EQ(reports[0].cost.messages, reports[1].cost.messages);
+    EXPECT_EQ(reports[0].cost.rounds, reports[1].cost.rounds);
+    // The sequential strategy never classifies, so replays stay 0 there;
+    // the optimistic strategy reports what the conflict pass re-resolved.
+    EXPECT_EQ(reports[0].resolve_replays, 0u);
+    total_replays += reports[1].resolve_replays;
+  }
+  EXPECT_EQ(partition_signature(*systems[0]),
+            partition_signature(*systems[1]));
+  for (const NodeId node : systems[0]->state().live_nodes()) {
+    ASSERT_EQ(systems[0]->state().home_of(node),
+              systems[1]->state().home_of(node));
+  }
+  EXPECT_TRUE(systems[0]->check().ok);
+  EXPECT_TRUE(systems[1]->check().ok);
+  (void)total_replays;  // may legitimately be 0 on conflict-free seeds
+}
+
+TEST(ShardTest, IncrementalPlanCacheMatchesFullRebuild) {
+  // Same seed, same batches: one system keeps its PlanCache across batches
+  // (incremental maintenance), the other is forced to rebuild from scratch
+  // before every step. Every message charge the planners make flows
+  // through the cached aggregates (neighborhood populations, walk cost
+  // model, alias sampler), so any maintenance drift — a stale neighbor
+  // population, a missed size delta — shows up as diverging messages or
+  // partitions here. At this scale the batch dirties more than k/16
+  // entries, so the alias overlay rebuilds after each commit and both
+  // systems plan with a clean (two-uniform-draw) sampler: outcomes are
+  // exactly bitwise equal. (The dirty overlay's law is covered
+  // statistically in plan_cache_test.)
+  Metrics metrics_inc;
+  Metrics metrics_rebuild;
+  NowSystem incremental{shard_params(), metrics_inc, 91};
+  NowSystem rebuild{shard_params(), metrics_rebuild, 91};
+  incremental.initialize(900, 90, InitTopology::kModeledSparse);
+  rebuild.initialize(900, 90, InitTopology::kModeledSparse);
+  Rng victims_a{17};
+  Rng victims_b{17};
+
+  for (int round = 0; round < 5; ++round) {
+    const auto leaves_a = pick_victims(incremental, 7, victims_a);
+    const auto leaves_b = pick_victims(rebuild, 7, victims_b);
+    ASSERT_EQ(leaves_a, leaves_b);
+    rebuild.invalidate_plan_cache();
+    const auto [ja, ra] =
+        incremental.step_parallel_mixed(7, 1, leaves_a, 4);
+    const auto [jb, rb] = rebuild.step_parallel_mixed(7, 1, leaves_b, 4);
+    ASSERT_EQ(ja, jb) << "round " << round;
+    EXPECT_EQ(ra.cost.messages, rb.cost.messages) << "round " << round;
+    EXPECT_EQ(ra.cost.rounds, rb.cost.rounds);
+    EXPECT_EQ(ra.wave_count, rb.wave_count);
+    EXPECT_EQ(ra.conflicts, rb.conflicts);
+  }
+  EXPECT_EQ(partition_signature(incremental), partition_signature(rebuild));
+  for (const NodeId node : incremental.state().live_nodes()) {
+    ASSERT_EQ(incremental.state().home_of(node),
+              rebuild.state().home_of(node));
+  }
+  EXPECT_TRUE(incremental.check().ok);
+  EXPECT_TRUE(rebuild.check().ok);
+}
+
+TEST(ShardTest, DirtyAliasOverlayStaysShardCountIndependent) {
+  // Regression test: at a scale where a batch dirties fewer than k/16
+  // alias entries, the PlanCache dirty overlay SURVIVES into the next
+  // batch's planning and a size-biased partner draw can land in
+  // draw_biased's dirty branch — a linear scan of dirty_list, whose order
+  // is therefore observable. That order must be canonical: before the
+  // commit sorted its size deltas by slot, it followed stage 1's
+  // shard-count-dependent slot-block concatenation, and shards 1 vs 4
+  // diverged by thousands of node homes within two batches (the small
+  // deployments of the tests above never caught it, because there the
+  // k/16 threshold rebuilds the table after every batch).
+  NowParams p;  // default k -> ~33-member clusters, ~600 of them
+  p.max_size = 1 << 15;
+  p.walk_mode = WalkMode::kSampleExact;
+  constexpr std::size_t kShardAxis[] = {1, 4};
+  std::vector<std::unique_ptr<Metrics>> metrics;
+  std::vector<std::unique_ptr<NowSystem>> systems;
+  std::vector<Rng> victim_rngs;
+  for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+    metrics.push_back(std::make_unique<Metrics>());
+    systems.push_back(
+        std::make_unique<NowSystem>(p, *metrics.back(), 101));
+    systems.back()->initialize(20000, 1500, InitTopology::kModeledSparse);
+    victim_rngs.emplace_back(101 ^ 5);
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::vector<NodeId>> joined(std::size(kShardAxis));
+    for (std::size_t v = 0; v < std::size(kShardAxis); ++v) {
+      const auto leaves = pick_victims(*systems[v], 4, victim_rngs[v]);
+      std::tie(joined[v], std::ignore) = systems[v]->step_parallel_mixed(
+          4, /*byzantine_joins=*/1, leaves, kShardAxis[v]);
+    }
+    ASSERT_EQ(joined[0], joined[1]) << "round " << round;
+    for (const NodeId node : systems[0]->state().live_nodes()) {
+      ASSERT_EQ(systems[0]->state().home_of(node),
+                systems[1]->state().home_of(node))
+          << "round " << round;
+    }
+  }
+  EXPECT_EQ(partition_signature(*systems[0]),
+            partition_signature(*systems[1]));
+}
+
 TEST(ShardTest, LegacyPathIsUntouchedByDefault) {
   // step_parallel with shards<=1 must keep using the historical sequential
   // engine and the system RNG stream: identical to a plain join/leave loop.

@@ -158,6 +158,69 @@ TEST(ScenarioTest, BatchedAdversaryRespectsBudgetAndIsAbsorbed) {
                 static_cast<double>(result.final_nodes + config.batch_ops));
 }
 
+TEST(ScenarioTest, ForcedLeaveQuotaRespectedBudgetBindsAndAbsorbed) {
+  // The batched forced-leave DoS: every step the adversary forces up to
+  // batch_leave_quota victims out of the worst/smallest clusters while
+  // corrupting a tau fraction of the joiners. The per-step quota must be
+  // respected, the static adversary's global corruption budget must still
+  // bind, and NOW's shuffling must absorb the combined attack.
+  auto config = base_config();
+  config.params.k = 10;
+  config.params.tau = 0.10;
+  config.steps = 40;
+  config.sample_every = 5;
+  config.batch_ops = 8;
+  config.shards = 4;
+  config.batch_byz_fraction = config.params.tau;
+  config.batch_placement = BatchPlacement::kTargeted;
+  config.batch_leave_quota = 5;
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  // Quota respected every step, and the attack actually ran.
+  EXPECT_LE(result.max_step_forced_leaves, config.batch_leave_quota);
+  EXPECT_GT(result.total_forced_leaves, 0u);
+  EXPECT_LE(result.total_forced_leaves,
+            config.batch_leave_quota * config.steps);
+  // Budget cap still binds under the combined attack.
+  EXPECT_LE(static_cast<double>(result.final_byzantine),
+            config.params.tau *
+                static_cast<double>(result.final_nodes + config.batch_ops));
+  // Shuffling absorbs the leave-heavy churn: invariants hold throughout.
+  EXPECT_FALSE(result.ever_compromised);
+  EXPECT_LT(result.peak_byz_fraction, 1.0 / 3.0);
+  EXPECT_EQ(result.final_nodes, 400u);  // size-neutral batches
+  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+}
+
+TEST(ScenarioTest, ForcedLeaveQuotaWithoutCorruptionStaysHealthy) {
+  // Quota-only mode (batch_byz_fraction = 0): the adversary can churn
+  // honest nodes out of the worst/smallest clusters but gains nothing —
+  // the merge/rejoin machinery keeps sizes legal and no cluster ever
+  // approaches compromise.
+  auto config = base_config();
+  config.params.k = 10;
+  config.steps = 30;
+  config.sample_every = 5;
+  config.batch_ops = 6;
+  config.shards = 4;
+  config.batch_leave_quota = 6;  // every leave slot is adversarial
+  Metrics metrics;
+  adversary::RandomChurnAdversary adv{config.params.tau,
+                                      adversary::ChurnSchedule::hold(400)};
+  const auto result = run_scenario(config, adv, metrics);
+  EXPECT_LE(result.max_step_forced_leaves, config.batch_leave_quota);
+  EXPECT_GT(result.total_forced_leaves, 0u);
+  EXPECT_FALSE(result.ever_compromised);
+  for (const auto& s : result.samples) {
+    EXPECT_TRUE(s.overlay_connected) << "step " << s.step;
+    if (s.num_clusters > 1) {
+      EXPECT_GE(s.min_cluster_size, config.params.merge_threshold());
+    }
+  }
+}
+
 TEST(ScenarioTest, BatchedShardedChurnHoldsInvariants) {
   // The high-throughput regime: every step is a batch of 8 joins + 8
   // leaves through the sharded engine. Invariants must survive exactly as

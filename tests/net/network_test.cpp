@@ -32,9 +32,11 @@ class EchoActor final : public Actor {
 TEST(SyncNetworkTest, MessagesArriveNextRound) {
   Metrics metrics;
   SyncNetwork net{metrics};
-  auto a = std::make_unique<EchoActor>(NodeId{2}, std::vector<std::uint64_t>{7});
+  auto a = std::make_unique<EchoActor>(NodeId{2},
+                                       std::vector<std::uint64_t>{7});
   auto* a_ptr = a.get();
-  auto b = std::make_unique<EchoActor>(NodeId{1}, std::vector<std::uint64_t>{9});
+  auto b = std::make_unique<EchoActor>(NodeId{1},
+                                       std::vector<std::uint64_t>{9});
   net.add_actor(NodeId{1}, std::move(a));
   net.add_actor(NodeId{2}, std::move(b));
 
@@ -62,8 +64,10 @@ TEST(SyncNetworkTest, CostsCountPayloadUnits) {
 TEST(SyncNetworkTest, RemovedActorDropsMail) {
   Metrics metrics;
   SyncNetwork net{metrics};
-  auto a = std::make_unique<EchoActor>(NodeId{2}, std::vector<std::uint64_t>{5});
-  auto b = std::make_unique<EchoActor>(NodeId{1}, std::vector<std::uint64_t>{6});
+  auto a = std::make_unique<EchoActor>(NodeId{2},
+                                       std::vector<std::uint64_t>{5});
+  auto b = std::make_unique<EchoActor>(NodeId{1},
+                                       std::vector<std::uint64_t>{6});
   auto* b_ptr = b.get();
   net.add_actor(NodeId{1}, std::move(a));
   net.add_actor(NodeId{2}, std::move(b));
