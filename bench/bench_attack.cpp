@@ -7,14 +7,22 @@
 // no-shuffle baseline; also the forced-leave (DoS) attack. Report
 // time-to-compromise (or survival) and the victim cluster's peak Byzantine
 // fraction.
+// Record & replay (DESIGN.md §8): --record=DIR writes one scenario trace
+// per attack row into DIR while running normally; --replay=DIR re-drives
+// every row from its trace instead of from the adversary code, verifies
+// the recorded invariant samples bit-exactly, and reports the SAME table
+// and verdict — exiting 1 if any trace diverged. The pair proves the whole
+// attack matrix is a deterministic, portable artifact.
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 #include <string_view>
 
 #include "adversary/adversary.hpp"
 #include "baseline/no_shuffle.hpp"
 #include "sim/scenario.hpp"
+#include "sim/trace.hpp"
 
 namespace now {
 namespace {
@@ -25,8 +33,48 @@ struct AttackOutcome {
   double peak = 0.0;
 };
 
+/// Trace mode shared by every attack row. In replay mode `diverged`
+/// records whether any trace failed verification.
+struct TraceMode {
+  std::string dir;
+  bool record = false;
+  bool replay = false;
+  bool diverged = false;
+
+  [[nodiscard]] std::string path(const std::string& label) const {
+    return dir + "/attack_" + label + ".trace";
+  }
+};
+
+AttackOutcome outcome_from(const sim::ScenarioResult& result) {
+  return AttackOutcome{result.ever_compromised,
+                       result.first_compromise_step,
+                       result.peak_byz_fraction};
+}
+
+/// Replays one row's trace, verifying samples; an unreadable/missing
+/// trace or a divergence marks the run failed (exit 1) instead of
+/// aborting, so a partial --record directory is reported row by row.
+AttackOutcome replay_row(TraceMode& mode, const std::string& label) {
+  try {
+    const auto replay = sim::replay_trace(mode.path(label));
+    if (!replay.ok) {
+      std::cerr << "REPLAY DIVERGED (" << label << "): " << replay.error
+                << "\n";
+      mode.diverged = true;
+    }
+    return outcome_from(replay.result);
+  } catch (const core::SnapshotError& e) {
+    std::cerr << "REPLAY UNREADABLE (" << label << "): " << e.what()
+              << "\n";
+    mode.diverged = true;
+    return AttackOutcome{};
+  }
+}
+
 AttackOutcome run_attack(bool shuffle, const std::string& kind,
-                         std::size_t steps, std::uint64_t seed) {
+                         std::size_t steps, std::uint64_t seed,
+                         TraceMode& mode, const std::string& label) {
   sim::ScenarioConfig config;
   config.params.max_size = 1 << 12;
   config.params.tau = 0.15;
@@ -40,6 +88,8 @@ AttackOutcome run_attack(bool shuffle, const std::string& kind,
   config.steps = steps;
   config.sample_every = 5;
   config.seed = seed;
+  if (mode.replay) return replay_row(mode, label);
+  if (mode.record) config.trace_path = mode.path(label);
 
   Metrics metrics;
   std::unique_ptr<adversary::Adversary> adv;
@@ -51,9 +101,7 @@ AttackOutcome run_attack(bool shuffle, const std::string& kind,
     adv = std::make_unique<adversary::ForcedLeaveAdversary>(
         config.params.tau);
   }
-  const auto result = sim::run_scenario(config, *adv, metrics);
-  return AttackOutcome{result.ever_compromised, result.first_compromise_step,
-                       result.peak_byz_fraction};
+  return outcome_from(sim::run_scenario(config, *adv, metrics));
 }
 
 /// The batched adversary (DESIGN.md §7): every time step is a batch of
@@ -67,7 +115,8 @@ AttackOutcome run_attack(bool shuffle, const std::string& kind,
 /// instead of one operation at a time.
 AttackOutcome run_batched_attack(bool shuffle, std::size_t shards,
                                  std::size_t steps, std::size_t leave_quota,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, TraceMode& mode,
+                                 const std::string& label) {
   sim::ScenarioConfig config;
   config.params.max_size = 1 << 12;
   config.params.tau = 0.15;
@@ -83,18 +132,19 @@ AttackOutcome run_batched_attack(bool shuffle, std::size_t shards,
   config.batch_byz_fraction = config.params.tau;
   config.batch_placement = sim::BatchPlacement::kTargeted;
   config.batch_leave_quota = leave_quota;
+  if (mode.replay) return replay_row(mode, label);
+  if (mode.record) config.trace_path = mode.path(label);
 
   Metrics metrics;
   // Supplies the adversary's tau (the corruption budget); the per-step
   // moves come from the batched placement policy, not from step().
   adversary::RandomChurnAdversary adv{config.params.tau,
                                       adversary::ChurnSchedule::hold(900)};
-  const auto result = sim::run_scenario(config, adv, metrics);
-  return AttackOutcome{result.ever_compromised, result.first_compromise_step,
-                       result.peak_byz_fraction};
+  return outcome_from(sim::run_scenario(config, adv, metrics));
 }
 
-void run(std::size_t shards) {
+int run(std::size_t shards, TraceMode mode) {
+  if (mode.record) std::filesystem::create_directories(mode.dir);
   bench::print_header(
       "ATT (join-leave & forced-leave attacks: NOW vs no-shuffle)",
       "shuffling defeats the targeted attacks; without exchange the victim "
@@ -108,8 +158,10 @@ void run(std::size_t shards) {
 
   for (const std::string kind : {"join-leave", "forced-leave"}) {
     for (const bool shuffle : {true, false}) {
-      const auto outcome =
-          run_attack(shuffle, kind, steps, shuffle ? 17 : 31);
+      const std::string file_label =
+          kind + (shuffle ? "_now" : "_noshuffle");
+      const auto outcome = run_attack(shuffle, kind, steps,
+                                      shuffle ? 17 : 31, mode, file_label);
       table.add_row({shuffle ? "NOW (shuffling)" : "no-shuffle baseline",
                      kind, sim::Table::fmt(std::uint64_t{steps}),
                      outcome.fell ? "YES" : "no",
@@ -142,8 +194,11 @@ void run(std::size_t shards) {
     const std::string key =
         quota == 0 ? "batched-join-leave" : "batched-forced-leave";
     for (const bool shuffle : {true, false}) {
-      const auto outcome = run_batched_attack(
-          shuffle, shards, batched_steps, quota, shuffle ? 19 : 37);
+      const std::string file_label =
+          key + (shuffle ? "_now" : "_noshuffle");
+      const auto outcome =
+          run_batched_attack(shuffle, shards, batched_steps, quota,
+                             shuffle ? 19 : 37, mode, file_label);
       table.add_row(
           {shuffle ? "NOW (shuffling)" : "no-shuffle baseline", attack,
            sim::Table::fmt(std::uint64_t{batched_steps}),
@@ -171,6 +226,17 @@ void run(std::size_t shards) {
       "is fully absorbed by NOW's exchange — sequentially and under batched "
       "parallel churn, forced-leave DoS quotas included — the experiment "
       "behind Section 3.3's design argument");
+  if (mode.record) {
+    std::cout << "recorded traces into " << mode.dir
+              << "; verify with --replay=" << mode.dir << "\n";
+  }
+  if (mode.replay) {
+    std::cout << (mode.diverged
+                      ? "REPLAY: at least one trace DIVERGED\n"
+                      : "REPLAY: every trace reproduced its recorded "
+                        "invariant samples exactly\n");
+  }
+  return mode.diverged ? 1 : 0;
 }
 
 }  // namespace
@@ -179,16 +245,23 @@ void run(std::size_t shards) {
 int main(int argc, char** argv) {
   // --shards=K runs the batched-adversary axis through the sharded engine
   // with K shards (results are shard-count independent; K only changes
-  // wall-clock).
+  // wall-clock). --record=DIR / --replay=DIR drive the trace subsystem
+  // (see the header comment).
   std::size_t shards = 4;
+  now::TraceMode mode;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view kPrefix = "--shards=";
     if (arg.starts_with(kPrefix)) {
       shards = static_cast<std::size_t>(
           std::max(1L, std::atol(arg.substr(kPrefix.size()).data())));
+    } else if (arg.starts_with("--record=")) {
+      mode.dir = std::string(arg.substr(9));
+      mode.record = true;
+    } else if (arg.starts_with("--replay=")) {
+      mode.dir = std::string(arg.substr(9));
+      mode.replay = true;
     }
   }
-  now::run(shards);
-  return 0;
+  return now::run(shards, mode);
 }

@@ -11,9 +11,22 @@
 // tau = 0.28 at (insufficient) large k to show the regime boundary — at
 // simulable scales that slack would need k in the hundreds, exactly as the
 // lemma's tail predicts.
+// Resumable split runs (the nightly's two-stage mode, DESIGN.md §8):
+//   --halt-at=T --checkpoint-dir=D   run every scenario to step T, save one
+//                                    scenario checkpoint per setting into D
+//                                    and stop (no table, no BENCH json);
+//   --resume-dir=D                   restore each scenario from D and
+//                                    complete it — the final table and
+//                                    BENCH_thm3_longrun.json are
+//                                    bit-identical to a single-process run.
 #include "bench_common.hpp"
 
+#include <cstdlib>
+#include <filesystem>
+#include <string_view>
+
 #include "adversary/adversary.hpp"
+#include "core/snapshot.hpp"
 #include "sim/scenario.hpp"
 
 namespace now {
@@ -26,7 +39,35 @@ struct Setting {
   bool gate;  // inside the finite-size whp regime: must stay clean
 };
 
-void run() {
+struct SplitMode {
+  std::size_t halt_at = 0;      // stage 1: checkpoint + stop after this step
+  std::string checkpoint_dir;   // stage 1 output / stage 2 input
+  bool resume = false;          // stage 2: restore and complete
+};
+
+std::unique_ptr<adversary::Adversary> make_adversary(
+    const std::string& kind, const Setting& setting) {
+  if (kind == "random-churn") {
+    return std::make_unique<adversary::RandomChurnAdversary>(
+        setting.tau, adversary::ChurnSchedule::hold(setting.n0));
+  }
+  if (kind == "join-leave") {
+    return std::make_unique<adversary::JoinLeaveAdversary>(
+        setting.tau, adversary::ChurnSchedule::hold(setting.n0));
+  }
+  return std::make_unique<adversary::ForcedLeaveAdversary>(setting.tau);
+}
+
+std::string checkpoint_path(const SplitMode& mode, const std::string& kind,
+                            const Setting& setting) {
+  return mode.checkpoint_dir + "/thm3_" + kind + "_tau" +
+         std::to_string(static_cast<int>(setting.tau * 100)) + "_k" +
+         std::to_string(setting.k) + ".ckpt";
+}
+
+void run(const SplitMode& mode) {
+  const bool stage1 = mode.halt_at > 0;
+  if (stage1) std::filesystem::create_directories(mode.checkpoint_dir);
   bench::print_header(
       "THM3 (Theorem 3: all clusters stay > 2/3 honest forever)",
       "for tau <= 1/3 - eps and k large enough (vs. eps), whp no cluster "
@@ -34,7 +75,10 @@ void run() {
 
   sim::Table table({"adversary", "tau", "k", "|C|~", "steps", "peak_pC",
                     "compromised", "first_step", "regime"});
-  bench::JsonEmitter json("thm3_longrun");
+  // Stage 1 emits no BENCH json — the resumed stage 2 produces the full
+  // file, bit-identical to a single-process run.
+  std::unique_ptr<bench::JsonEmitter> json;
+  if (!stage1) json = std::make_unique<bench::JsonEmitter>("thm3_longrun");
 
   bool in_regime_clean = true;
   const std::uint64_t N = 1 << 12;
@@ -61,19 +105,23 @@ void run() {
       config.sample_every = 5;
       config.seed = static_cast<std::uint64_t>(setting.tau * 1000) +
                     static_cast<std::uint64_t>(setting.k) * 7 + kind.size();
+      if (stage1) {
+        config.halt_at = mode.halt_at;
+        config.checkpoint_path = checkpoint_path(mode, kind, setting);
+      } else if (mode.resume) {
+        config.resume_from = checkpoint_path(mode, kind, setting);
+      }
 
       Metrics metrics;
-      std::unique_ptr<adversary::Adversary> adv;
-      if (kind == "random-churn") {
-        adv = std::make_unique<adversary::RandomChurnAdversary>(
-            setting.tau, adversary::ChurnSchedule::hold(setting.n0));
-      } else if (kind == "join-leave") {
-        adv = std::make_unique<adversary::JoinLeaveAdversary>(
-            setting.tau, adversary::ChurnSchedule::hold(setting.n0));
-      } else {
-        adv = std::make_unique<adversary::ForcedLeaveAdversary>(setting.tau);
-      }
+      const auto adv = make_adversary(kind, setting);
       const auto result = sim::run_scenario(config, *adv, metrics);
+      if (stage1) {
+        std::cout << "checkpointed " << kind << " tau=" << setting.tau
+                  << " k=" << setting.k << " at step "
+                  << result.halted_at_step << " -> "
+                  << config.checkpoint_path << "\n";
+        continue;
+      }
 
       table.add_row(
           {kind, sim::Table::fmt(setting.tau, 2),
@@ -86,12 +134,17 @@ void run() {
                ? sim::Table::fmt(std::uint64_t{result.first_compromise_step})
                : "-",
            setting.gate ? "whp (gated)" : "boundary"});
-      json.add_scalar("peak_pC[" + kind +
-                          ",tau=" + sim::Table::fmt(setting.tau, 2) +
-                          ",k=" + std::to_string(setting.k) + "]",
-                      N, result.peak_byz_fraction);
+      json->add_scalar("peak_pC[" + kind +
+                           ",tau=" + sim::Table::fmt(setting.tau, 2) +
+                           ",k=" + std::to_string(setting.k) + "]",
+                       N, result.peak_byz_fraction);
       if (setting.gate && result.ever_compromised) in_regime_clean = false;
     }
+  }
+  if (stage1) {
+    std::cout << "stage 1 complete; finish with --resume-dir="
+              << mode.checkpoint_dir << "\n";
+    return;
   }
   table.print(std::cout);
   bench::print_verdict(
@@ -105,7 +158,35 @@ void run() {
 }  // namespace
 }  // namespace now
 
-int main() {
-  now::run();
+int main(int argc, char** argv) {
+  now::SplitMode mode;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--halt-at=")) {
+      mode.halt_at = static_cast<std::size_t>(
+          std::atol(arg.substr(10).data()));
+    } else if (arg.starts_with("--checkpoint-dir=")) {
+      mode.checkpoint_dir = std::string(arg.substr(17));
+    } else if (arg.starts_with("--resume-dir=")) {
+      mode.checkpoint_dir = std::string(arg.substr(13));
+      mode.resume = true;
+    }
+  }
+  if ((mode.halt_at > 0 || mode.resume) && mode.checkpoint_dir.empty()) {
+    std::cerr << "usage: --halt-at=T requires --checkpoint-dir=D "
+                 "(and stage 2 is --resume-dir=D)\n";
+    return 2;
+  }
+  if (mode.halt_at > 0 && mode.resume) {
+    std::cerr << "--halt-at and --resume-dir are the two STAGES of a "
+                 "split run; pass one of them\n";
+    return 2;
+  }
+  try {
+    now::run(mode);
+  } catch (const now::core::SnapshotError& e) {
+    std::cerr << "checkpoint error: " << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 // This example loads a store, pushes the network through heavy growth and
 // shrinkage (forcing real splits/merges), repairs placement after each
 // wave, and audits that no key is ever lost or served unauthentically.
+#include <fstream>
 #include <iostream>
 
 #include "adversary/adversary.hpp"
@@ -75,6 +76,8 @@ int main() {
   }
 
   log.print(std::cout);
+  std::ofstream csv("EXAMPLE_churning_kv_store.csv");
+  log.write_csv(csv);
   std::cout << "\nstore integrity across a 3x size oscillation: "
             << (healthy ? "every key served, every read certified"
                         : "DATA LOSS OR FORGERY DETECTED")

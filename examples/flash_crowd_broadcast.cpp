@@ -7,6 +7,7 @@
 // along, and both at O~(n) / polylog cost rather than the O(n^2) a flat
 // protocol would pay. This is the polynomial-variance regime no
 // static-cluster-count system survives (see bench_poly_growth).
+#include <fstream>
 #include <iostream>
 
 #include "adversary/adversary.hpp"
@@ -81,6 +82,8 @@ int main() {
   }
 
   log.print(std::cout);
+  std::ofstream csv("EXAMPLE_flash_crowd_broadcast.csv");
+  log.write_csv(csv);
   std::cout << "\nevery broadcast reached every node and every poll "
             << (all_delivered ? "returned the honest majority"
                               : "FAILED")

@@ -8,6 +8,7 @@
 // (including a join-leave attacker), and after every epoch performs
 // quorum-certified writes — a write is durable iff the assigned cluster
 // carries an honest supermajority and acknowledges through the > 1/2 rule.
+#include <fstream>
 #include <iostream>
 
 #include "adversary/adversary.hpp"
@@ -92,6 +93,8 @@ int main() {
   }
 
   log.print(std::cout);
+  std::ofstream csv("EXAMPLE_p2p_storage_quorums.csv");
+  log.write_csv(csv);
   std::cout << "\nall writes quorum-certified: " << (all_durable ? "yes" : "NO")
             << " — the attacked quorum never lost its honest supermajority\n";
   return all_durable ? 0 : 1;

@@ -5,6 +5,9 @@
 //
 // Walks through the public API end to end: parameters -> initialization ->
 // join/leave -> invariant inspection -> per-operation cost accounting.
+// Writes its cost table to EXAMPLE_quickstart.csv (deterministic; gated
+// against bench/baseline/ by scripts/check_bench.py).
+#include <fstream>
 #include <iostream>
 
 #include "core/now.hpp"
@@ -68,5 +71,7 @@ int main() {
                    sim::Table::fmt(metrics.operation_total(label).messages)});
   }
   costs.print(std::cout);
+  std::ofstream csv("EXAMPLE_quickstart.csv");
+  costs.write_csv(csv);
   return inv.ok ? 0 : 1;
 }

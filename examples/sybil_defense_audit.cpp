@@ -6,6 +6,7 @@
 // disabled shuffling "to save bandwidth". Produces the audit table an
 // operator would want: time-to-compromise, peak infiltration, and the
 // bandwidth price of the defense.
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -94,6 +95,8 @@ int main() {
     }
   }
   table.print(std::cout);
+  std::ofstream csv("EXAMPLE_sybil_defense_audit.csv");
+  table.write_csv(csv);
 
   std::cout << "\nfindings:\n"
             << "  * with shuffling, no quorum was captured in any attack "

@@ -17,6 +17,12 @@ and are WARN-ONLY: a row is reported when it slows down by more than
 --wall-tolerance (default 1.5x) but never fails the job. For
 BENCH_micro.json only the *presence* of each benchmark is enforced.
 
+The examples' CSV outputs (EXAMPLE_*.csv, written next to the binaries by
+the example smoke tests) are gated the same way: every cell is a seeded
+deterministic quantity (counts, fractions, message totals — never wall
+clock), so the files must match the baseline byte for byte; any diff or
+missing file is a hard failure.
+
 Usage:
   scripts/check_bench.py --baseline bench/baseline --current build
   scripts/check_bench.py ... --update   # rewrite the baseline from current
@@ -107,6 +113,23 @@ def check_micro_file(name: str, base: dict, cur: dict, wall_tol: float,
                 f"(> {wall_tol:.2f}x slower; warn-only)")
 
 
+def check_csv_file(name: str, base_path: Path, cur_path: Path,
+                   errors: list) -> None:
+    """Example CSVs carry no wall-clock columns, so the whole file is a
+    deterministic fidelity quantity: compare exactly, line by line."""
+    base_lines = base_path.read_text().splitlines()
+    cur_lines = cur_path.read_text().splitlines()
+    if len(base_lines) != len(cur_lines):
+        errors.append(f"{name}: row count changed "
+                      f"{len(base_lines)} -> {len(cur_lines)}")
+        return
+    for lineno, (brow, crow) in enumerate(zip(base_lines, cur_lines), 1):
+        if brow != crow:
+            errors.append(f"{name}: line {lineno} changed "
+                          f"'{brow}' -> '{crow}'")
+            return
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="bench/baseline",
@@ -124,13 +147,14 @@ def main() -> int:
     baseline_dir = Path(args.baseline)
     current_dir = Path(args.current)
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    csv_baselines = sorted(baseline_dir.glob("EXAMPLE_*.csv"))
     if not baselines:
         print(f"error: no BENCH_*.json baselines under {baseline_dir}",
               file=sys.stderr)
         return 1
 
     if args.update:
-        for bpath in baselines:
+        for bpath in baselines + csv_baselines:
             cpath = current_dir / bpath.name
             if not cpath.exists():
                 print(f"error: cannot update {bpath.name}: "
@@ -155,6 +179,13 @@ def main() -> int:
         else:
             check_emitter_file(bpath.name, base, cur, args.wall_tolerance,
                                errors, warnings)
+    for bpath in csv_baselines:
+        cpath = current_dir / bpath.name
+        if not cpath.exists():
+            errors.append(f"{bpath.name}: not produced by this run "
+                          f"({cpath} missing)")
+            continue
+        check_csv_file(bpath.name, bpath, cpath, errors)
 
     for w in warnings:
         print(f"warning: {w}")
@@ -168,8 +199,8 @@ def main() -> int:
               "  scripts/check_bench.py --baseline bench/baseline "
               "--current build --update", file=sys.stderr)
         return 1
-    print(f"bench gate: {len(baselines)} file(s) match the baseline "
-          f"({len(warnings)} wall-time warning(s))")
+    print(f"bench gate: {len(baselines) + len(csv_baselines)} file(s) "
+          f"match the baseline ({len(warnings)} wall-time warning(s))")
     return 0
 
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario-corpus driver: (re)generate the checked-in trace corpus under
+bench/corpus/ via the `now_trace` tool (tools/now_trace.cpp).
+
+The corpus is a set of seeded randomized adversarial scenarios — each a
+replayable binary trace (sim/trace.hpp) — with failing scenarios shrunk to
+minimal reproducers by the generator (sim/corpus.hpp). CI's `corpus` job
+replays every checked-in trace and fails on invariant-sample drift, so any
+behavioral change to the engine that alters a recorded trajectory is
+caught exactly like a bench-fidelity regression.
+
+Usage:
+  scripts/gen_corpus.py --build-dir build                 # regenerate
+  scripts/gen_corpus.py --build-dir build --verify-only   # replay only
+
+Regeneration is deterministic in --seed, so re-running with the same seed
+and the same engine produces byte-identical traces. After an INTENTIONAL
+behavioral change, regenerate and commit the new traces together with the
+change (the same policy as the bench baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory containing the now_trace binary")
+    parser.add_argument("--out", default="bench/corpus",
+                        help="corpus directory (checked in)")
+    parser.add_argument("--count", type=int, default=6,
+                        help="number of scenarios to generate")
+    parser.add_argument("--seed", type=int, default=20260726,
+                        help="master seed (generation is deterministic)")
+    parser.add_argument("--verify-only", action="store_true",
+                        help="replay the existing corpus instead of "
+                             "regenerating")
+    args = parser.parse_args()
+
+    tool = Path(args.build_dir) / "now_trace"
+    if not tool.exists():
+        print(f"error: {tool} not found — build the `now_trace` target "
+              f"first (cmake --build {args.build_dir} --target now_trace)",
+              file=sys.stderr)
+        return 1
+
+    out = Path(args.out)
+    if args.verify_only:
+        traces = sorted(out.glob("*.trace"))
+        if not traces:
+            print(f"error: no traces under {out}", file=sys.stderr)
+            return 1
+        return subprocess.run([str(tool), "replay"] +
+                              [str(t) for t in traces]).returncode
+
+    out.mkdir(parents=True, exist_ok=True)
+    for stale in out.glob("*.trace"):
+        stale.unlink()
+    gen = subprocess.run([str(tool), "gen", f"--out={out}",
+                          f"--count={args.count}", f"--seed={args.seed}"])
+    if gen.returncode != 0:
+        return gen.returncode
+    traces = sorted(out.glob("*.trace"))
+    print(f"\nreplay-verifying {len(traces)} generated trace(s)...")
+    return subprocess.run([str(tool), "replay"] +
+                          [str(t) for t in traces]).returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

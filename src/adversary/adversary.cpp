@@ -3,8 +3,37 @@
 #include <algorithm>
 
 #include "cluster/cluster.hpp"
+#include "core/snapshot.hpp"
 
 namespace now::adversary {
+
+void Adversary::save_state(core::SnapshotWriter& /*writer*/) const {}
+void Adversary::load_state(core::SnapshotReader& /*reader*/) {}
+
+void JoinLeaveAdversary::save_state(core::SnapshotWriter& writer) const {
+  writer.u64(target_.value());
+}
+void JoinLeaveAdversary::load_state(core::SnapshotReader& reader) {
+  target_ = ClusterId{reader.u64()};
+}
+
+void ForcedLeaveAdversary::save_state(core::SnapshotWriter& writer) const {
+  writer.u64(target_.value());
+}
+void ForcedLeaveAdversary::load_state(core::SnapshotReader& reader) {
+  target_ = ClusterId{reader.u64()};
+}
+
+void ThrashAdversary::save_state(core::SnapshotWriter& writer) const {
+  writer.u8(draining_ ? 1 : 0);
+  writer.u64(splits_triggered_);
+  writer.u64(merges_triggered_);
+}
+void ThrashAdversary::load_state(core::SnapshotReader& reader) {
+  draining_ = reader.u8() != 0;
+  splits_triggered_ = reader.u64();
+  merges_triggered_ = reader.u64();
+}
 
 void RandomChurnAdversary::do_leave(core::NowSystem& system, Rng& rng) {
   const auto& state = system.state();

@@ -41,6 +41,13 @@ class Adversary {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Scenario-checkpoint hooks (core/snapshot.hpp, DESIGN.md §8):
+  /// strategies with internal state — a chosen victim cluster, an attack
+  /// phase — serialize it so a resumed scenario continues the exact
+  /// trajectory. Stateless strategies keep the no-op defaults.
+  virtual void save_state(core::SnapshotWriter& writer) const;
+  virtual void load_state(core::SnapshotReader& reader);
+
   [[nodiscard]] double tau() const { return tau_; }
 
  protected:
@@ -87,6 +94,8 @@ class JoinLeaveAdversary final : public Adversary {
 
   void step(core::NowSystem& system, std::size_t t, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "join-leave"; }
+  void save_state(core::SnapshotWriter& writer) const override;
+  void load_state(core::SnapshotReader& reader) override;
 
   [[nodiscard]] ClusterId target() const { return target_; }
 
@@ -104,6 +113,8 @@ class ForcedLeaveAdversary final : public Adversary {
 
   void step(core::NowSystem& system, std::size_t t, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "forced-leave"; }
+  void save_state(core::SnapshotWriter& writer) const override;
+  void load_state(core::SnapshotReader& reader) override;
 
   [[nodiscard]] ClusterId target() const { return target_; }
 
@@ -126,6 +137,8 @@ class ThrashAdversary final : public Adversary {
 
   void step(core::NowSystem& system, std::size_t t, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "thrash"; }
+  void save_state(core::SnapshotWriter& writer) const override;
+  void load_state(core::SnapshotReader& reader) override;
 
   [[nodiscard]] std::size_t splits_triggered() const {
     return splits_triggered_;

@@ -80,6 +80,14 @@ class Rng {
                                          std::uint64_t stream,
                                          std::uint64_t substream);
 
+  /// Raw 256-bit generator state — the snapshot subsystem serializes and
+  /// restores generators mid-stream so a resumed run continues the exact
+  /// draw sequence (DESIGN.md §8).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+  void restore_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -1,6 +1,7 @@
 #include "core/now.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -14,6 +15,7 @@
 #include "cluster/rand_num.hpp"
 #include "common/math_util.hpp"
 #include "core/plan_cache.hpp"
+#include "core/snapshot.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/erdos_renyi.hpp"
 
@@ -172,11 +174,28 @@ struct BatchScratch {
   void foot_mark_leaver(std::uint64_t flat) {
     foot[flat] = (foot_epoch << 4) | foot_value(flat) | 0x8;
   }
-  void foot_count_move(std::uint64_t flat) {
-    const std::uint64_t value = foot_value(flat);
-    const std::uint64_t count = value & 0x3;
-    foot[flat] = (foot_epoch << 4) | (value & 0x8) |
-                 (count < 2 ? count + 1 : count);
+  /// Epoch-aware saturating move count, callable concurrently from the
+  /// wave planners: the footprint pass is folded into wave planning (both
+  /// swap endpoints are known there), shaving the dedicated
+  /// post-planning sweep the commit used to make. The final
+  /// entry is order-independent — the count saturates at 2, the leaver
+  /// bit is only OR-ed in sequentially before planning starts, and every
+  /// writer stamps the same epoch — so the committed state stays
+  /// bit-identical to the sequential sweep's.
+  void foot_count_move_atomic(std::uint64_t flat) {
+    std::atomic_ref<std::uint64_t> ref(foot[flat]);
+    std::uint64_t cur = ref.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t value =
+          (cur >> 4) == foot_epoch ? (cur & 0xF) : 0;
+      const std::uint64_t count = value & 0x3;
+      const std::uint64_t next = (foot_epoch << 4) | (value & 0x8) |
+                                 (count < 2 ? count + 1 : count);
+      if (ref.compare_exchange_weak(cur, next,
+                                    std::memory_order_relaxed)) {
+        return;
+      }
+    }
   }
 };
 
@@ -218,10 +237,16 @@ RandClResult plan_rand_cl(const NowState& state, const NowParams& params,
 /// planning never consumes the majority-rule outcome, so the per-call
 /// Byzantine count is skipped while the charged cost stays identical to
 /// cluster_send's.
+///
+/// When `foot` is non-null (the optimistic resolve is selected for this
+/// batch), each planned swap's two flat endpoints are counted into the
+/// footprint array right here — the endpoints are already at hand, so the
+/// commit's separate footprint sweep over every wave's swap list is gone.
 void plan_wave(const NowState& state, const NowParams& params,
                PlannedWave& wave, ClusterWaveCache& out,
                std::span<const NodeId> skips, const PlanCache& cache,
-               WaveWorkspace& ws, Metrics& metrics, Rng& rng) {
+               WaveWorkspace& ws, BatchScratch* foot, Metrics& metrics,
+               Rng& rng) {
   OpScope scope(metrics, "exchange");
   const ClusterId c = wave.cluster;
   const std::size_t c_index = cache.index_by_slot[wave.slot];
@@ -266,12 +291,17 @@ void plan_wave(const NowState& state, const NowParams& params,
       const auto draw = cluster::rand_num_value(
           to.size(), to.size(), params.rand_num_mode, metrics, rng);
       chain_rounds += draw.cost.rounds;
-      out.swaps.push_back(PendingSwap{
+      const PendingSwap swap{
           x, to.member_at(draw.value), wave.slot,
           cache.slot_by_index[partner_index],
           static_cast<std::uint32_t>(c_flat + pos),
           static_cast<std::uint32_t>(cache.flat_offset[partner_index] +
-                                     draw.value)});
+                                     draw.value)};
+      out.swaps.push_back(swap);
+      if (foot != nullptr) {
+        foot->foot_count_move_atomic(swap.x_flat);
+        foot->foot_count_move_atomic(swap.y_flat);
+      }
       // One coalesced charge: the x <-> y handoff (2 units each way), the
       // composition deltas to both neighborhoods (2 units) and the overlay
       // info the newcomers receive — identical units to the sequential
@@ -362,6 +392,53 @@ NowSystem::NowSystem(const NowParams& params, Metrics& metrics,
 NowSystem::~NowSystem() = default;
 
 void NowSystem::invalidate_plan_cache() { batch_->cache.invalidate(); }
+
+// Snapshot glue for the PlanCache (core/snapshot.cpp drives these; they
+// live here because BatchScratch is opaque outside this file). Only the
+// alias sampler's OBSERVABLE state is written: the stale Vose weights and
+// the dirty-overlay list, whose draw/rejection pattern shows through the
+// per-op derived RNG streams. The dense tables, neighborhood populations
+// and flat offsets are pure functions of the restored state, so load
+// rebuilds them with build() and then re-marks the overlay.
+void NowSystem::save_plan_cache(SnapshotWriter& writer) const {
+  const PlanCache& cache = batch_->cache;
+  writer.u8(cache.valid ? 1 : 0);
+  if (!cache.valid) return;
+  writer.u64(cache.table_weight.size());
+  for (const std::uint64_t weight : cache.table_weight) writer.u64(weight);
+  writer.u64(cache.dirty_list.size());
+  for (const std::uint32_t index : cache.dirty_list) writer.u32(index);
+}
+
+void NowSystem::load_plan_cache(SnapshotReader& reader) {
+  PlanCache& cache = batch_->cache;
+  if (reader.u8() == 0) {
+    cache.invalidate();
+    return;
+  }
+  cache.build(state_, params_);
+  const std::uint64_t stale_count = reader.count(8);
+  if (stale_count != cache.current_weight.size()) {
+    throw SnapshotError("plan-cache stale-weight table size mismatch");
+  }
+  std::vector<std::uint64_t> stale(stale_count);
+  for (auto& weight : stale) weight = reader.u64();
+  const std::uint64_t dirty_count = reader.count(4);
+  std::vector<std::uint32_t> dirty;
+  dirty.reserve(dirty_count);
+  std::vector<std::uint8_t> seen(stale_count, 0);
+  for (std::uint64_t i = 0; i < dirty_count; ++i) {
+    const std::uint32_t index = reader.u32();
+    if (index >= stale_count || seen[index] != 0) {
+      throw SnapshotError("plan-cache dirty index out of range or "
+                          "repeated");
+    }
+    seen[index] = 1;
+    dirty.push_back(index);
+  }
+  cache.restore_alias(std::move(stale), dirty);
+  assert(cache.consistent_with(state_));
+}
 
 InitReport NowSystem::initialize(std::size_t n0, std::size_t byzantine_count,
                                  InitTopology topology) {
@@ -555,6 +632,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   assert(initialized_);
   assert(byzantine_joins <= joins);
   shards = std::max<std::size_t>(1, shards);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->on_batch(joins, byzantine_joins, leaves, shards);
+  }
   OpScope scope(metrics_, "batch");
   OpReport combined;
   const std::uint64_t batch_id = batch_counter_++;
@@ -616,6 +696,32 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // read from here until the commit phase below.
   const NowState& snapshot = state_;
   ThreadPool& pool = pool_for(shards);
+
+  // Resolve strategy, decided up front: the optimistic resolve's footprint
+  // counters are populated by the wave planners in-flight (both endpoints
+  // of a swap are known at plan time — the dedicated post-planning sweep
+  // over every wave's swap list is gone), so the epoch bump, the array
+  // sizing and the sequential leaver marks must all happen before the
+  // planners start.
+  const bool pooled = pool.worker_count() > 0 && shards > 1;
+  const bool optimistic =
+      params_.resolve_mode == ResolveMode::kOptimistic ||
+      (params_.resolve_mode == ResolveMode::kAuto && pooled);
+  if (optimistic) {
+    ++bs.foot_epoch;
+    if (bs.foot.size() < cache.total_weight) {
+      bs.foot.resize(cache.total_weight, 0);
+    }
+    for (const std::uint32_t slot : bs.leaver_slots) {
+      const std::size_t index = cache.index_by_slot[slot];
+      const cluster::Cluster& home = *cache.cluster_by_index[index];
+      for (const NodeId leaver : bs.leavers_by_slot[slot]) {
+        bs.foot_mark_leaver(cache.flat_offset[index] +
+                            home.index_of(leaver));
+      }
+    }
+  }
+
   pool.parallel_for(shards, [&](std::size_t s) {
     for (const std::size_t index : assignment[s]) {
       Rng op_rng = Rng::derive_stream(seed_, batch_id, index);
@@ -679,7 +785,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
       plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
                 bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
-                shard_metrics[s], wave_rng);
+                optimistic ? &bs : nullptr, shard_metrics[s], wave_rng);
     }
   });
 
@@ -718,7 +824,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
       plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
                 bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
-                shard_metrics[s], wave_rng);
+                optimistic ? &bs : nullptr, shard_metrics[s], wave_rng);
     }
   });
   combined.wave_count = bs.primaries.size() + bs.secondaries.size();
@@ -818,10 +924,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     for (const PlannedWave& wave : bs.secondaries) {
       all_waves.push_back(&wave);
     }
-    const bool pooled = pool.worker_count() > 0 && shards > 1;
-    const bool parallel =
-        params_.resolve_mode == ResolveMode::kOptimistic ||
-        (params_.resolve_mode == ResolveMode::kAuto && pooled);
+    const bool parallel = optimistic;
     const bool gather = parallel && pooled;
     const auto cluster_of_slot = [&cache](std::uint32_t slot) {
       return cache.id_by_index[cache.index_by_slot[slot]];
@@ -835,26 +938,6 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       sink(swap.to_slot, swap.x, /*add=*/true);
       sink(swap.to_slot, swap.y, /*add=*/false);
       sink(swap.from_slot, swap.y, /*add=*/true);
-    };
-    const auto mark_footprints = [&] {
-      ++bs.foot_epoch;
-      if (bs.foot.size() < cache.total_weight) {
-        bs.foot.resize(cache.total_weight, 0);
-      }
-      for (const std::uint32_t slot : bs.leaver_slots) {
-        const std::size_t index = cache.index_by_slot[slot];
-        const cluster::Cluster& home = *cache.cluster_by_index[index];
-        for (const NodeId leaver : bs.leavers_by_slot[slot]) {
-          bs.foot_mark_leaver(cache.flat_offset[index] +
-                              home.index_of(leaver));
-        }
-      }
-      for (const PlannedWave* wave : all_waves) {
-        for (const PendingSwap& swap : bs.wave_cache[wave->slot].swaps) {
-          bs.foot_count_move(swap.x_flat);
-          bs.foot_count_move(swap.y_flat);
-        }
-      }
     };
     /// The historical per-swap rule, shared by the sequential strategy and
     /// the conflict replays: re-resolve at current homes, drop when an
@@ -883,7 +966,8 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
         wave_swap_offset[w] = total_swaps;
         total_swaps += bs.wave_cache[all_waves[w]->slot].swaps.size();
       }
-      mark_footprints();
+      // Footprints were already counted by the wave planners (and the
+      // leaver marks written before planning); no sweep needed here.
       bs.fate.resize(total_swaps);
       std::vector<std::size_t> shard_drops(shards, 0);
       std::vector<std::size_t> shard_replays(shards, 0);
@@ -1232,6 +1316,7 @@ std::pair<NodeId, OpReport> NowSystem::join(bool byzantine_node) {
   OpReport report;
 
   const NodeId node = state_.fresh_node_id();
+  if (trace_sink_ != nullptr) trace_sink_->on_join(node, byzantine_node);
   if (byzantine_node) state_.byzantine.insert(node);
   state_.register_node(node);
   const std::uint64_t rounds = place_node(node, report);
@@ -1243,6 +1328,7 @@ std::pair<NodeId, OpReport> NowSystem::join(bool byzantine_node) {
 
 OpReport NowSystem::leave(NodeId node) {
   assert(initialized_);
+  if (trace_sink_ != nullptr) trace_sink_->on_leave(node);
   OpScope scope(metrics_, "leave");
   batch_->cache.invalidate();  // legacy path mutates outside the commit
   OpReport report;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -100,6 +101,28 @@ struct OpReport {
 /// incremental PlanCache, the per-cluster wave caches the wave scheduler
 /// reuses across time steps, and the commit engine's scratch buffers.
 struct BatchScratch;
+
+class SnapshotReader;
+class SnapshotWriter;
+
+/// Observer of the scenario-level events a NowSystem executes — the
+/// record half of the trace subsystem (sim/trace.hpp). The sink sees
+/// exactly the inputs needed to re-drive an identical trajectory: which
+/// operations ran, in which order, with which adversarial choices. All
+/// protocol-internal randomness is derived from the system seed, so the
+/// event stream plus the seed IS the full trajectory.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// A sequential join completed; `node` is the id it was assigned.
+  virtual void on_join(NodeId node, bool byzantine) = 0;
+  /// A sequential leave of `node` is about to run.
+  virtual void on_leave(NodeId node) = 0;
+  /// A sharded batch is about to run with these exact inputs.
+  virtual void on_batch(std::size_t joins, std::size_t byzantine_joins,
+                        const std::vector<NodeId>& leaves,
+                        std::size_t shards) = 0;
+};
 
 class NowSystem {
  public:
@@ -209,6 +232,24 @@ class NowSystem {
   /// that want to time or compare the full-rebuild path.
   void invalidate_plan_cache();
 
+  // ------------------------------------------- snapshots & traces (§8)
+
+  /// Writes a versioned binary snapshot of the full deterministic state
+  /// (core/snapshot.hpp). Restore-then-continue is bit-identical to never
+  /// having saved, for every shard count and ResolveMode.
+  void save(const std::string& path) const;
+
+  /// Restores a snapshot into this system, which must be freshly
+  /// constructed with the same behavior-relevant NowParams (resolve_mode
+  /// and shard counts may differ — they never change results). Throws
+  /// core::SnapshotError on malformed files, version or parameter
+  /// mismatch.
+  void load(const std::string& path);
+
+  /// Attaches (or detaches, with nullptr) a scenario-event observer. The
+  /// sink outlives every subsequent operation until detached.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
  private:
   /// Places an existing node into the partition via Algorithm 1 (used by
   /// both fresh joins and post-merge re-joins). Returns rounds consumed.
@@ -228,6 +269,14 @@ class NowSystem {
   /// the hardware concurrency. Worker count never affects results.
   ThreadPool& pool_for(std::size_t shards);
 
+  /// Snapshot glue (core/snapshot.cpp reaches the private fields; the
+  /// PlanCache blob lives behind the opaque BatchScratch, so its two
+  /// halves are implemented in now.cpp).
+  friend void save_system(const NowSystem& system, SnapshotWriter& writer);
+  friend void load_system(NowSystem& system, SnapshotReader& reader);
+  void save_plan_cache(SnapshotWriter& writer) const;
+  void load_plan_cache(SnapshotReader& reader);
+
   NowParams params_;
   Metrics& metrics_;
   std::uint64_t seed_;
@@ -235,6 +284,7 @@ class NowSystem {
   NowState state_;
   bool initialized_ = false;
   std::uint64_t batch_counter_ = 0;
+  TraceSink* trace_sink_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
 
   // Batch-engine state persisting across time steps (see now.cpp): the

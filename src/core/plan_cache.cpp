@@ -110,13 +110,37 @@ void PlanCache::maybe_rebuild_alias() {
 }
 
 void PlanCache::rebuild_alias() {
-  const std::size_t k = current_weight.size();
   table_weight = current_weight;
   table_total = total_weight;
   dirty_list.clear();
-  dirty_flag.assign(k, 0);
+  dirty_flag.assign(current_weight.size(), 0);
   dirty_table_mass = 0;
   dirty_current_mass = 0;
+  build_alias_tables();
+}
+
+void PlanCache::restore_alias(std::vector<std::uint64_t> stale_weights,
+                              const std::vector<std::uint32_t>& dirty) {
+  assert(stale_weights.size() == current_weight.size());
+  table_weight = std::move(stale_weights);
+  table_total = 0;
+  for (const std::uint64_t w : table_weight) table_total += w;
+  dirty_list.clear();
+  dirty_flag.assign(current_weight.size(), 0);
+  dirty_table_mass = 0;
+  dirty_current_mass = 0;
+  build_alias_tables();
+  for (const std::uint32_t i : dirty) {
+    assert(i < current_weight.size() && dirty_flag[i] == 0);
+    dirty_flag[i] = 1;
+    dirty_list.push_back(i);
+    dirty_table_mass += table_weight[i];
+    dirty_current_mass += current_weight[i];
+  }
+}
+
+void PlanCache::build_alias_tables() {
+  const std::size_t k = table_weight.size();
 
   // Vose construction on integer weights (scaled by k so every column ends
   // with a threshold in [0, W] and one alias); exactness needs no floating

@@ -117,6 +117,14 @@ struct PlanCache {
   /// Rebuilds the Vose table from current_weight (clears the overlay).
   void rebuild_alias();
 
+  /// Snapshot restore (DESIGN.md §8): rebuilds the Vose table from the
+  /// SAVED stale weights — not the current sizes — and re-marks the saved
+  /// dirty overlay in its original order, reproducing draw_biased's exact
+  /// draw/rejection pattern. Call right after build() on the restored
+  /// state; `stale_weights` must have one entry per dense index.
+  void restore_alias(std::vector<std::uint64_t> stale_weights,
+                     const std::vector<std::uint32_t>& dirty);
+
   /// Dense index drawn with probability |C| / n (current sizes, exactly).
   [[nodiscard]] std::size_t draw_biased(Rng& rng) const;
 
@@ -130,6 +138,11 @@ struct PlanCache {
   /// this at every batch start, so the sanitizer CI jobs verify the
   /// incremental maintenance on every batched test.
   [[nodiscard]] bool consistent_with(const NowState& state) const;
+
+ private:
+  /// Vose construction over the already-set table_weight / table_total
+  /// (shared by rebuild_alias and restore_alias).
+  void build_alias_tables();
 };
 
 }  // namespace now::core

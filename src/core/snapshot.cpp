@@ -1,0 +1,366 @@
+#include "core/snapshot.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+#include "core/now.hpp"
+#include "core/state.hpp"
+
+namespace now::core {
+
+namespace {
+
+constexpr std::size_t kMagicSize = 8;
+
+/// RAII stdio handle (no iostreams on the snapshot path: the writer
+/// already owns a buffer, so one fwrite/fread round-trip is all the IO).
+struct File {
+  std::FILE* handle = nullptr;
+  explicit File(std::FILE* f) : handle(f) {}
+  ~File() {
+    if (handle != nullptr) std::fclose(handle);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+void SnapshotWriter::write_file(const std::string& path,
+                                std::string_view magic,
+                                std::uint32_t version) const {
+  assert(magic.size() == kMagicSize && "magic must be exactly 8 bytes");
+  SnapshotWriter frame;
+  for (const char c : magic) frame.u8(static_cast<std::uint8_t>(c));
+  frame.u32(version);
+  const File file{std::fopen(path.c_str(), "wb")};
+  if (file.handle == nullptr) {
+    throw SnapshotError("cannot open for writing: " + path);
+  }
+  const auto put = [&](const std::vector<std::uint8_t>& bytes) {
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), file.handle) !=
+            bytes.size()) {
+      throw SnapshotError("short write: " + path);
+    }
+  };
+  put(frame.buffer());
+  put(buffer_);
+  SnapshotWriter checksum;
+  checksum.u64(fnv1a64(buffer_.data(), buffer_.size()));
+  put(checksum.buffer());
+}
+
+SnapshotReader SnapshotReader::read_file(const std::string& path,
+                                         std::string_view magic,
+                                         std::uint32_t min_version,
+                                         std::uint32_t max_version) {
+  assert(magic.size() == kMagicSize);
+  const File file{std::fopen(path.c_str(), "rb")};
+  if (file.handle == nullptr) {
+    throw SnapshotError("cannot open: " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  while (true) {
+    const std::size_t got =
+        std::fread(chunk, 1, sizeof(chunk), file.handle);
+    bytes.insert(bytes.end(), chunk, chunk + got);
+    if (got < sizeof(chunk)) break;
+  }
+  // Frame: magic(8) + version(4) + payload + checksum(8).
+  if (bytes.size() < kMagicSize + 4 + 8) {
+    throw SnapshotError("file too short to be a snapshot frame: " + path);
+  }
+  for (std::size_t i = 0; i < kMagicSize; ++i) {
+    if (bytes[i] != static_cast<std::uint8_t>(magic[i])) {
+      throw SnapshotError("bad magic (not a " + std::string(magic) +
+                          " file): " + path);
+    }
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(bytes[kMagicSize +
+                                                static_cast<std::size_t>(i)])
+               << (8 * i);
+  }
+  if (version < min_version || version > max_version) {
+    throw SnapshotError("unsupported format version " +
+                        std::to_string(version) + ": " + path);
+  }
+  const std::size_t payload_begin = kMagicSize + 4;
+  const std::size_t payload_size = bytes.size() - payload_begin - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  bytes[payload_begin + payload_size +
+                        static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (stored != fnv1a64(bytes.data() + payload_begin, payload_size)) {
+    throw SnapshotError("checksum mismatch (corrupt file): " + path);
+  }
+  SnapshotReader reader{std::vector<std::uint8_t>(
+      bytes.begin() + static_cast<std::ptrdiff_t>(payload_begin),
+      bytes.begin() +
+          static_cast<std::ptrdiff_t>(payload_begin + payload_size))};
+  reader.version_ = version;
+  return reader;
+}
+
+// ------------------------------------------------------------- NowState
+
+void snapshot_save_state(const NowState& state, SnapshotWriter& w) {
+  w.u64(state.next_node_id_);
+  w.u64(state.next_cluster_id_);
+
+  w.u64(state.slots_.size());
+  for (const auto& slot : state.slots_) {
+    if (!slot.has_value()) {
+      w.u8(0);
+      continue;
+    }
+    w.u8(1);
+    w.u64(slot->id().value());
+    w.u64(slot->size());
+    for (const NodeId member : slot->members()) w.u64(member.value());
+  }
+  w.u64(state.free_slots_.size());
+  for (const std::uint32_t slot : state.free_slots_) w.u32(slot);
+  w.u64(state.live_ids_.size());
+  for (const ClusterId id : state.live_ids_) w.u64(id.value());
+
+  w.u64(state.live_.size());
+  for (const NodeId node : state.live_.items()) w.u64(node.value());
+  w.u64(state.byzantine.size());
+  for (const NodeId node : state.byzantine.items()) w.u64(node.value());
+
+  const graph::Graph& g = state.overlay.graph();
+  w.u64(g.vertex_order().size());
+  for (const graph::Vertex v : g.vertex_order()) w.u64(v);
+  for (const graph::Vertex v : g.vertex_order()) {
+    const auto& neighbors = g.neighbors(v);
+    w.u64(neighbors.size());
+    for (const graph::Vertex n : neighbors) w.u64(n);
+  }
+}
+
+void snapshot_load_state(NowState& state, SnapshotReader& r) {
+  state.next_node_id_ = r.u64();
+  state.next_cluster_id_ = r.u64();
+
+  const std::uint64_t slot_count = r.count(1);
+  state.slots_.clear();
+  state.slots_.resize(slot_count);
+  state.live_pos_.assign(slot_count, 0);
+  state.free_slots_.clear();
+  state.live_ids_.clear();
+  state.cluster_slot_.clear();
+  state.node_home_.clear();
+  state.placed_count_ = 0;
+  state.live_.clear();
+  state.byzantine.clear();
+  state.sizes_ = FenwickTree{};
+  state.sizes_.resize(slot_count);
+
+  std::vector<NodeId> members;
+  std::vector<NodeId> scratch;
+  for (std::uint64_t slot = 0; slot < slot_count; ++slot) {
+    if (r.u8() == 0) continue;
+    const ClusterId id{r.u64()};
+    const std::uint64_t size = r.count(8);
+    members.clear();
+    members.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      members.push_back(NodeId{r.u64()});
+      if (i > 0 && !(members[i - 1] < members[i])) {
+        throw SnapshotError("cluster member list not strictly sorted");
+      }
+    }
+    auto& cluster = state.slots_[slot].emplace(id);
+    cluster.apply_sorted_edits({}, members, scratch);
+    state.cluster_slot_.set(id.value(),
+                            static_cast<std::uint32_t>(slot));
+    for (const NodeId m : members) state.node_home_.set(m.value(), id);
+    state.placed_count_ += members.size();
+    state.sizes_.add(static_cast<std::size_t>(slot), size);
+  }
+
+  const std::uint64_t free_count = r.count(4);
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    const std::uint32_t slot = r.u32();
+    if (slot >= slot_count || state.slots_[slot].has_value()) {
+      throw SnapshotError("free-slot list names a live slot");
+    }
+    state.free_slots_.push_back(slot);
+  }
+  const std::uint64_t live_cluster_count = r.count(8);
+  for (std::uint64_t i = 0; i < live_cluster_count; ++i) {
+    const ClusterId id{r.u64()};
+    if (!state.has_cluster(id)) {
+      throw SnapshotError("live-cluster list names an unknown cluster");
+    }
+    state.live_pos_[state.slot_of(id)] =
+        static_cast<std::uint32_t>(state.live_ids_.size());
+    state.live_ids_.push_back(id);
+  }
+  if (state.live_ids_.size() + state.free_slots_.size() != slot_count) {
+    throw SnapshotError("slot table does not partition into live + free");
+  }
+
+  const std::uint64_t live_node_count = r.count(8);
+  for (std::uint64_t i = 0; i < live_node_count; ++i) {
+    state.live_.insert(NodeId{r.u64()});
+  }
+  const std::uint64_t byz_count = r.count(8);
+  for (std::uint64_t i = 0; i < byz_count; ++i) {
+    state.byzantine.insert(NodeId{r.u64()});
+  }
+
+  graph::Graph& g = state.overlay.graph_for_restore();
+  g.clear();
+  const std::uint64_t vertex_count = r.count(8);
+  std::vector<graph::Vertex> order;
+  order.reserve(vertex_count);
+  for (std::uint64_t i = 0; i < vertex_count; ++i) {
+    const graph::Vertex v = r.u64();
+    order.push_back(v);
+    g.add_vertex(v);
+  }
+  for (const graph::Vertex v : order) {
+    const std::uint64_t degree = r.count(8);
+    for (std::uint64_t i = 0; i < degree; ++i) {
+      const graph::Vertex n = r.u64();
+      if (!g.has_vertex(n)) {
+        throw SnapshotError("overlay edge to an unknown vertex");
+      }
+      if (v < n) g.add_edge(v, n);
+    }
+  }
+}
+
+// ------------------------------------------------------------ NowSystem
+
+void save_params(const NowParams& p, SnapshotWriter& w) {
+  w.u64(p.max_size);
+  w.f64(p.tau);
+  w.i64(p.k);
+  w.f64(p.l);
+  w.f64(p.alpha);
+  w.f64(p.over_degree_constant);
+  w.f64(p.over_cap_factor);
+  w.f64(p.walk_factor);
+  w.u32(static_cast<std::uint32_t>(p.walk_mode));
+  w.u32(static_cast<std::uint32_t>(p.merge_policy));
+  w.u32(static_cast<std::uint32_t>(p.rand_num_mode));
+  w.u32(static_cast<std::uint32_t>(p.robustness));
+  w.u32(static_cast<std::uint32_t>(p.threshold_mode));
+  w.u8(p.shuffle_enabled ? 1 : 0);
+}
+
+NowParams read_params(SnapshotReader& r) {
+  NowParams p;
+  p.max_size = r.u64();
+  p.tau = r.f64();
+  p.k = static_cast<int>(r.i64());
+  p.l = r.f64();
+  p.alpha = r.f64();
+  p.over_degree_constant = r.f64();
+  p.over_cap_factor = r.f64();
+  p.walk_factor = r.f64();
+  p.walk_mode = static_cast<WalkMode>(r.u32());
+  p.merge_policy = static_cast<MergePolicy>(r.u32());
+  p.rand_num_mode = static_cast<cluster::RandNumMode>(r.u32());
+  p.robustness = static_cast<Robustness>(r.u32());
+  p.threshold_mode = static_cast<ThresholdMode>(r.u32());
+  p.shuffle_enabled = r.u8() != 0;
+  return p;
+}
+
+void check_params(const NowParams& expected, SnapshotReader& r) {
+  const NowParams got = read_params(r);
+  const auto fail = [](const char* field) {
+    throw SnapshotError(std::string("snapshot parameter mismatch: ") +
+                        field);
+  };
+  if (got.max_size != expected.max_size) fail("max_size");
+  if (got.tau != expected.tau) fail("tau");
+  if (got.k != expected.k) fail("k");
+  if (got.l != expected.l) fail("l");
+  if (got.alpha != expected.alpha) fail("alpha");
+  if (got.over_degree_constant != expected.over_degree_constant) {
+    fail("over_degree_constant");
+  }
+  if (got.over_cap_factor != expected.over_cap_factor) {
+    fail("over_cap_factor");
+  }
+  if (got.walk_factor != expected.walk_factor) fail("walk_factor");
+  if (got.walk_mode != expected.walk_mode) fail("walk_mode");
+  if (got.merge_policy != expected.merge_policy) fail("merge_policy");
+  if (got.rand_num_mode != expected.rand_num_mode) fail("rand_num_mode");
+  if (got.robustness != expected.robustness) fail("robustness");
+  if (got.threshold_mode != expected.threshold_mode) {
+    fail("threshold_mode");
+  }
+  if (got.shuffle_enabled != expected.shuffle_enabled) {
+    fail("shuffle_enabled");
+  }
+}
+
+void save_system(const NowSystem& system, SnapshotWriter& w) {
+  w.u64(system.seed_);
+  w.u8(system.initialized_ ? 1 : 0);
+  w.u64(system.batch_counter_);
+  for (const std::uint64_t word : system.rng_.state()) w.u64(word);
+  save_params(system.params_, w);
+  snapshot_save_state(system.state_, w);
+  system.save_plan_cache(w);
+}
+
+void load_system(NowSystem& system, SnapshotReader& r) {
+  if (system.initialized_) {
+    throw SnapshotError(
+        "snapshots load into a freshly constructed NowSystem only");
+  }
+  system.seed_ = r.u64();
+  const bool initialized = r.u8() != 0;
+  system.batch_counter_ = r.u64();
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) word = r.u64();
+  system.rng_.restore_state(rng_state);
+  check_params(system.params_, r);
+  snapshot_load_state(system.state_, r);
+  system.initialized_ = initialized;
+  system.load_plan_cache(r);
+}
+
+void NowSystem::save(const std::string& path) const {
+  SnapshotWriter writer;
+  save_system(*this, writer);
+  writer.write_file(path, "NOWSNAP1", kSnapshotFormatVersion);
+}
+
+void NowSystem::load(const std::string& path) {
+  SnapshotReader reader = SnapshotReader::read_file(
+      path, "NOWSNAP1", kSnapshotFormatVersion, kSnapshotFormatVersion);
+  load_system(*this, reader);
+  if (!reader.at_end()) {
+    throw SnapshotError("trailing bytes after snapshot payload: " + path);
+  }
+}
+
+}  // namespace now::core

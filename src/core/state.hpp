@@ -50,6 +50,9 @@
 
 namespace now::core {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class NowState {
  public:
   explicit NowState(const over::OverParams& over_params)
@@ -380,6 +383,15 @@ class NowState {
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Snapshot serialization (core/snapshot.cpp): the slot table, the free
+  /// list and every dense order (live_ids_, live_, byzantine) are
+  /// observable through sampling, so they are written and reconstructed
+  /// verbatim; the derived containers (cluster_slot_, node_home_, sizes_,
+  /// live_pos_, placed_count_) are rebuilt from them.
+  friend void snapshot_save_state(const NowState& state,
+                                  SnapshotWriter& writer);
+  friend void snapshot_load_state(NowState& state, SnapshotReader& reader);
 
   [[nodiscard]] std::uint32_t slot_of(ClusterId id) const {
     const std::uint32_t slot = cluster_slot_.get(id.value());

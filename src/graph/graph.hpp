@@ -52,6 +52,20 @@ class Graph {
   /// All vertices in ascending key order.
   [[nodiscard]] std::vector<Vertex> vertices() const;
 
+  /// Vertices in the internal dense (swap-and-pop) order — the order
+  /// random_vertex indexes into. Snapshot serialization must preserve it:
+  /// re-adding vertices in exactly this order reproduces the draw sequence.
+  [[nodiscard]] const std::vector<Vertex>& vertex_order() const {
+    return vertex_list_;
+  }
+
+  /// Drops every vertex and edge (snapshot restore starts from empty).
+  void clear() {
+    adjacency_.clear();
+    vertex_list_.clear();
+    num_edges_ = 0;
+  }
+
   /// Uniformly random neighbor of v. Requires degree(v) > 0.
   [[nodiscard]] Vertex random_neighbor(Vertex v, Rng& rng) const;
 

@@ -81,6 +81,11 @@ class Overlay {
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
   [[nodiscard]] const OverParams& params() const { return params_; }
 
+  /// Snapshot restore hook (core/snapshot.cpp): the adjacency — including
+  /// its dense vertex order, which random draws index — is serialized
+  /// verbatim and rebuilt through this mutable view. Not for protocol use.
+  [[nodiscard]] graph::Graph& graph_for_restore() { return graph_; }
+
  private:
   /// Adds sampled edges to v until its degree reaches `goal` (best effort,
   /// bounded retries; respects the degree cap on both endpoints).

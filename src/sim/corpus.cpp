@@ -1,0 +1,136 @@
+#include "sim/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "adversary/adversary.hpp"
+#include "adversary/schedule.hpp"
+
+namespace now::sim {
+
+bool scenario_failed(const ScenarioConfig& config,
+                     const ScenarioResult& result) {
+  if (result.ever_compromised) return true;
+  for (const InvariantSample& s : result.samples) {
+    if (!s.overlay_connected) return true;
+  }
+  // Static-adversary budget: the corpus only drives within-model
+  // adversaries, so a breached budget is an engine bug, not an attack win.
+  const double budget =
+      config.params.tau * static_cast<double>(result.final_nodes) + 1.0;
+  return static_cast<double>(result.final_byzantine) > budget;
+}
+
+ScenarioConfig random_scenario_config(Rng& rng, const CorpusAxes& axes) {
+  ScenarioConfig config;
+  config.params.max_size = 1 << 12;
+  config.params.walk_mode = core::WalkMode::kSampleExact;
+  // k scaled with tau's slack the way Lemma 1 prescribes, so the corpus
+  // samples the paper's whp regime (plus its edges), not trivially-broken
+  // configurations.
+  const double taus[] = {0.05, 0.10, 0.15};
+  config.params.tau = taus[rng.uniform(3)];
+  config.params.k = 8 + static_cast<int>(rng.uniform(3)) * 2;  // 8|10|12
+  config.topology = rng.uniform(4) == 0
+                        ? core::InitTopology::kSparseRandom
+                        : core::InitTopology::kModeledSparse;
+  config.n0 = config.topology == core::InitTopology::kSparseRandom
+                  ? 300 + rng.uniform(101)     // message-level flood: small
+                  : 600 + rng.uniform(601);    // modeled: up to 1200
+  config.steps = axes.min_steps +
+                 rng.uniform(axes.max_steps - axes.min_steps + 1);
+  config.sample_every = rng.uniform(2) == 0 ? 5 : 10;
+  config.seed = rng.next();
+  config.batch_ops = 2 + rng.uniform(9);  // 2..10
+  const std::size_t shard_axis[] = {1, 2, 4, 8};
+  config.shards = shard_axis[rng.uniform(4)];
+  // Corruption volume within the budget; placement and the forced-leave
+  // quota pick the attack flavor.
+  config.batch_byz_fraction = rng.uniform01() * config.params.tau;
+  config.batch_placement = rng.uniform(2) == 0 ? BatchPlacement::kUniform
+                                               : BatchPlacement::kTargeted;
+  config.batch_leave_quota = rng.uniform(config.batch_ops + 1);
+  return config;
+}
+
+ScenarioResult run_corpus_scenario(ScenarioConfig config,
+                                   const std::string& trace_path) {
+  config.trace_path = trace_path;
+  Metrics metrics;
+  // The driver adversary only supplies the corruption budget tau; the
+  // per-step moves come from the batched placement policy.
+  adversary::RandomChurnAdversary adversary{
+      config.params.tau, adversary::ChurnSchedule::hold(config.n0)};
+  return run_scenario(config, adversary, metrics);
+}
+
+ScenarioConfig shrink_failing_config(const ScenarioConfig& failing,
+                                     std::size_t* rounds_out) {
+  ScenarioConfig best = failing;
+  best.trace_path.clear();
+  std::size_t rounds = 0;
+  bool reduced = true;
+  while (reduced && rounds < 40) {
+    reduced = false;
+    std::vector<ScenarioConfig> candidates;
+    if (best.steps >= 20) {
+      ScenarioConfig c = best;
+      c.steps /= 2;
+      candidates.push_back(c);
+    }
+    if (best.batch_ops >= 2) {
+      ScenarioConfig c = best;
+      c.batch_ops /= 2;
+      c.batch_leave_quota = std::min(c.batch_leave_quota, c.batch_ops);
+      candidates.push_back(c);
+    }
+    if (best.n0 >= 400) {
+      ScenarioConfig c = best;
+      c.n0 = c.n0 * 3 / 4;
+      candidates.push_back(c);
+    }
+    for (const ScenarioConfig& candidate : candidates) {
+      const ScenarioResult result = run_corpus_scenario(candidate, "");
+      if (scenario_failed(candidate, result)) {
+        best = candidate;
+        ++rounds;
+        reduced = true;
+        break;
+      }
+    }
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return best;
+}
+
+std::vector<CorpusCase> generate_corpus(const CorpusAxes& axes,
+                                        const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  Rng rng{axes.master_seed};
+  std::vector<CorpusCase> cases;
+  cases.reserve(axes.count);
+  for (std::size_t i = 0; i < axes.count; ++i) {
+    CorpusCase c;
+    c.config = random_scenario_config(rng, axes);
+    std::string suffix = std::to_string(i);
+    while (suffix.size() < 3) suffix.insert(suffix.begin(), '0');
+    c.name = "corpus_" + suffix;
+    c.trace_file = c.name + ".trace";
+    const std::string path = out_dir + "/" + c.trace_file;
+    c.result = run_corpus_scenario(c.config, path);
+    c.failing = scenario_failed(c.config, c.result);
+    if (c.failing) {
+      // Shrink to the minimal reproducer and record ITS trace instead —
+      // the checked-in corpus carries the smallest scenario that still
+      // demonstrates the violation.
+      c.config = shrink_failing_config(c.config, &c.shrink_rounds);
+      c.result = run_corpus_scenario(c.config, path);
+      c.name += "_min";
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace now::sim

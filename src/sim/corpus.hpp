@@ -1,0 +1,80 @@
+// Seeded scenario corpus (DESIGN.md §8): randomized adversarial scenarios,
+// each recorded as a replayable trace, with failing ones shrunk to minimal
+// reproducers.
+//
+// The generator randomizes the ScenarioConfig axes — initialization
+// topology, population, batch size, shard count, the batched adversary's
+// corruption fraction and placement policy, and the forced-leave DoS
+// quota — always within the model's adversary budget (tau <= 1/3 - eps;
+// corrupted joiners bounded by tau * n). Every generated scenario is run
+// once with trace recording (sim/trace.hpp); a scenario whose outcome
+// violates the gated guarantees (a compromised cluster, a disconnected
+// overlay, a breached corruption budget) is then SHRUNK — steps, batch
+// size and population are greedily halved while the violation persists —
+// and the minimal reproducer's trace is recorded in its place.
+//
+// bench/corpus/ holds the checked-in corpus; the CI `corpus` job replays
+// every trace there and fails on any invariant-sample drift, so a
+// behavioral change that alters any recorded trajectory is caught exactly
+// like a bench-fidelity regression. scripts/gen_corpus.py +
+// tools/now_trace.cpp drive generation/regeneration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace now::sim {
+
+struct CorpusAxes {
+  std::uint64_t master_seed = 20260726;
+  std::size_t count = 6;
+  std::size_t min_steps = 40;
+  std::size_t max_steps = 120;
+};
+
+struct CorpusCase {
+  std::string name;
+  /// Trace file name, relative to the generation out_dir.
+  std::string trace_file;
+  ScenarioConfig config;
+  ScenarioResult result;
+  /// The scenario violated a gated guarantee; config/result describe the
+  /// SHRUNK minimal reproducer.
+  bool failing = false;
+  /// Number of accepted shrink reductions (0 for passing scenarios).
+  std::size_t shrink_rounds = 0;
+};
+
+/// True when the outcome violates the guarantees the corpus gates on: a
+/// compromised cluster, a disconnected overlay at any sample, or a final
+/// Byzantine population above the adversary's tau * n budget.
+[[nodiscard]] bool scenario_failed(const ScenarioConfig& config,
+                                   const ScenarioResult& result);
+
+/// One deterministic randomized scenario drawn from the axes.
+[[nodiscard]] ScenarioConfig random_scenario_config(Rng& rng,
+                                                    const CorpusAxes& axes);
+
+/// Runs `config` under the batched adversary driver, recording the trace
+/// to `trace_path` (empty = no recording).
+ScenarioResult run_corpus_scenario(ScenarioConfig config,
+                                   const std::string& trace_path);
+
+/// Greedy minimization of a failing config: halve steps, halve batch_ops,
+/// then shrink n0, keeping each reduction only while scenario_failed still
+/// holds. Returns the minimal failing config; `rounds_out` (optional)
+/// receives the number of accepted reductions.
+[[nodiscard]] ScenarioConfig shrink_failing_config(
+    const ScenarioConfig& failing, std::size_t* rounds_out = nullptr);
+
+/// Generates `axes.count` scenarios into `out_dir` (created if missing),
+/// one trace file each, shrinking failing ones. Deterministic in
+/// axes.master_seed.
+std::vector<CorpusCase> generate_corpus(const CorpusAxes& axes,
+                                        const std::string& out_dir);
+
+}  // namespace now::sim

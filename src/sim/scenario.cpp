@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <ostream>
 
 #include "common/math_util.hpp"
 #include "sim/table.hpp"
+#include "sim/trace.hpp"
 
 namespace now::sim {
 
@@ -152,9 +154,37 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
                                   : adversary.tau();
   const auto byz0 = static_cast<std::size_t>(
       std::floor(byz_fraction * static_cast<double>(n0)));
-  system.initialize(n0, byz0, config.topology);
 
   ScenarioResult result;
+  // Split/merge totals are attributed to THIS scenario: counts already in
+  // the caller's metrics (or restored from a checkpoint) are offset out.
+  std::size_t start_step = 0;
+  std::size_t splits_offset = 0;
+  std::size_t merges_offset = 0;
+  const std::size_t splits_at_entry = metrics.operation_count("split");
+  const std::size_t merges_at_entry = metrics.operation_count("merge");
+
+  if (!config.resume_from.empty()) {
+    const ScenarioResume resume = load_scenario_checkpoint(
+        config, adversary, system, driver_rng, result, config.resume_from);
+    start_step = resume.step;
+    splits_offset = resume.splits_so_far;
+    merges_offset = resume.merges_so_far;
+  } else {
+    system.initialize(n0, byz0, config.topology);
+  }
+
+  // Traces must cover the whole run to be replayable, so resumed runs
+  // and halt-and-checkpoint runs (which stop before the horizon) do not
+  // record — a half-written trace would fail replay anyway.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (!config.trace_path.empty() && start_step == 0 &&
+      config.halt_at == 0) {
+    recorder = std::make_unique<TraceRecorder>(config, n0, byz0,
+                                               adversary.name());
+    system.set_trace_sink(recorder.get());
+  }
+
   const auto sample_now = [&](std::size_t step) {
     const auto report = system.check();
     InvariantSample s;
@@ -174,10 +204,30 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       result.ever_compromised = true;
       result.first_compromise_step = step;
     }
+    if (recorder != nullptr) recorder->record_sample(s);
+  };
+  const auto finalize = [&] {
+    result.total_splits = splits_offset +
+                          metrics.operation_count("split") -
+                          splits_at_entry;
+    result.total_merges = merges_offset +
+                          metrics.operation_count("merge") -
+                          merges_at_entry;
+    result.final_nodes = system.num_nodes();
+    result.final_clusters = system.num_clusters();
+    result.final_byzantine = system.state().byzantine_total();
+  };
+  const auto checkpoint_now = [&](std::size_t step) {
+    save_scenario_checkpoint(
+        config, adversary, system, driver_rng, result, step,
+        splits_offset + metrics.operation_count("split") - splits_at_entry,
+        merges_offset + metrics.operation_count("merge") - merges_at_entry,
+        config.checkpoint_path);
   };
 
-  sample_now(0);
-  for (std::size_t t = 1; t <= config.steps; ++t) {
+  if (start_step == 0) sample_now(0);
+  for (std::size_t t = start_step + 1; t <= config.steps; ++t) {
+    if (recorder != nullptr) recorder->begin_step(t);
     if (config.batch_ops > 0) {
       // Joins always match leaves so the batch is size-neutral; on a tiny
       // network the whole batch shrinks rather than going joins-heavy.
@@ -200,13 +250,27 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       adversary.step(system, t, driver_rng);
     }
     if (t % config.sample_every == 0 || t == config.steps) sample_now(t);
+    if (!config.checkpoint_path.empty()) {
+      if (config.halt_at == t) {
+        // Checkpoint-and-stop: the partial result reports the state at the
+        // halt; a --resume run completes the horizon bit-identically.
+        checkpoint_now(t);
+        system.set_trace_sink(nullptr);
+        result.halted_at_step = t;
+        finalize();
+        return result;
+      }
+      if (config.checkpoint_every > 0 && t % config.checkpoint_every == 0) {
+        checkpoint_now(t);
+      }
+    }
   }
 
-  result.total_splits = metrics.operation_count("split");
-  result.total_merges = metrics.operation_count("merge");
-  result.final_nodes = system.num_nodes();
-  result.final_clusters = system.num_clusters();
-  result.final_byzantine = system.state().byzantine_total();
+  finalize();
+  if (recorder != nullptr) {
+    system.set_trace_sink(nullptr);
+    recorder->finish(result, config.trace_path);
+  }
   return result;
 }
 

@@ -64,6 +64,28 @@ struct ScenarioConfig {
   /// joiners + forced leaves is the paper's combined join-leave + DoS
   /// regime under footnote *'s parallel operations).
   std::size_t batch_leave_quota = 0;
+
+  // ----------------------------- snapshots & traces (DESIGN.md §8)
+
+  /// Periodic checkpointing: every this many steps the full scenario state
+  /// (system snapshot + driver RNG + partial result + adversary state) is
+  /// written to checkpoint_path, without stopping. 0 disables.
+  std::size_t checkpoint_every = 0;
+  /// One-shot checkpoint-and-stop: after exactly this step the scenario
+  /// saves to checkpoint_path and returns the partial result
+  /// (halted_at_step records the stop). 0 disables. The split long-run
+  /// mode of bench_thm3_longrun --halt-at / --resume.
+  std::size_t halt_at = 0;
+  /// Where checkpoints are written (required by the two knobs above).
+  std::string checkpoint_path;
+  /// Resume from this checkpoint instead of initializing: the run
+  /// continues at the saved step + 1 and is bit-identical to the
+  /// uninterrupted run from there on, samples included.
+  std::string resume_from;
+  /// Record a scenario trace (sim/trace.hpp) of every event + invariant
+  /// sample to this file. Ignored on resumed runs (a trace must cover the
+  /// whole run to be replayable).
+  std::string trace_path;
 };
 
 struct InvariantSample {
@@ -76,6 +98,10 @@ struct InvariantSample {
   std::size_t compromised_clusters = 0;
   std::size_t overlay_max_degree = 0;
   bool overlay_connected = true;
+
+  /// Trace replay and resume tests compare samples bit-exactly.
+  friend bool operator==(const InvariantSample&,
+                         const InvariantSample&) = default;
 };
 
 struct ScenarioResult {
@@ -98,6 +124,9 @@ struct ScenarioResult {
   /// (callers assert it never exceeds batch_leave_quota).
   std::size_t total_forced_leaves = 0;
   std::size_t max_step_forced_leaves = 0;
+  /// When ScenarioConfig::halt_at fired, the step the run checkpointed and
+  /// stopped at; 0 means the run completed its full horizon.
+  std::size_t halted_at_step = 0;
 };
 
 /// Runs the scenario. The same Metrics records every operation, so callers

@@ -1,0 +1,467 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace now::sim {
+
+namespace {
+
+constexpr char kTraceMagic[] = "NOWTRAC1";
+constexpr char kCheckpointMagic[] = "NOWCKPT1";
+
+/// Trace frame tags.
+enum Frame : std::uint8_t {
+  kFrameStep = 1,
+  kFrameJoin = 2,
+  kFrameLeave = 3,
+  kFrameBatch = 4,
+  kFrameSample = 5,
+  kFrameEnd = 6,
+};
+
+void write_sample(core::SnapshotWriter& w, const InvariantSample& s) {
+  w.u64(s.step);
+  w.u64(s.num_nodes);
+  w.u64(s.num_clusters);
+  w.u64(s.min_cluster_size);
+  w.u64(s.max_cluster_size);
+  w.f64(s.worst_byz_fraction);
+  w.u64(s.compromised_clusters);
+  w.u64(s.overlay_max_degree);
+  w.u8(s.overlay_connected ? 1 : 0);
+}
+
+InvariantSample read_sample(core::SnapshotReader& r) {
+  InvariantSample s;
+  s.step = r.u64();
+  s.num_nodes = r.u64();
+  s.num_clusters = r.u64();
+  s.min_cluster_size = r.u64();
+  s.max_cluster_size = r.u64();
+  s.worst_byz_fraction = r.f64();
+  s.compromised_clusters = r.u64();
+  s.overlay_max_degree = r.u64();
+  s.overlay_connected = r.u8() != 0;
+  return s;
+}
+
+void write_summary(core::SnapshotWriter& w, const ScenarioResult& result) {
+  w.f64(result.peak_byz_fraction);
+  w.u8(result.ever_compromised ? 1 : 0);
+  w.u64(result.first_compromise_step);
+  w.u64(result.total_splits);
+  w.u64(result.total_merges);
+  w.u64(result.final_nodes);
+  w.u64(result.final_clusters);
+  w.u64(result.final_byzantine);
+  w.u64(result.total_forced_leaves);
+  w.u64(result.max_step_forced_leaves);
+}
+
+ScenarioResult read_summary(core::SnapshotReader& r) {
+  ScenarioResult result;
+  result.peak_byz_fraction = r.f64();
+  result.ever_compromised = r.u8() != 0;
+  result.first_compromise_step = r.u64();
+  result.total_splits = r.u64();
+  result.total_merges = r.u64();
+  result.final_nodes = r.u64();
+  result.final_clusters = r.u64();
+  result.final_byzantine = r.u64();
+  result.total_forced_leaves = r.u64();
+  result.max_step_forced_leaves = r.u64();
+  return result;
+}
+
+struct TraceHeader {
+  core::NowParams params;
+  std::uint64_t seed = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t sample_every = 0;
+  std::uint64_t n0 = 0;
+  std::uint64_t byz0 = 0;
+  core::InitTopology topology = core::InitTopology::kSparseRandom;
+  std::uint64_t batch_ops = 0;
+  std::uint64_t shards = 1;
+  double batch_byz_fraction = 0.0;
+  BatchPlacement placement = BatchPlacement::kUniform;
+  std::uint64_t leave_quota = 0;
+  std::string adversary;
+};
+
+void write_header(core::SnapshotWriter& w, const TraceHeader& h) {
+  core::save_params(h.params, w);
+  w.u64(h.seed);
+  w.u64(h.steps);
+  w.u64(h.sample_every);
+  w.u64(h.n0);
+  w.u64(h.byz0);
+  w.u32(static_cast<std::uint32_t>(h.topology));
+  w.u64(h.batch_ops);
+  w.u64(h.shards);
+  w.f64(h.batch_byz_fraction);
+  w.u32(static_cast<std::uint32_t>(h.placement));
+  w.u64(h.leave_quota);
+  w.str(h.adversary);
+}
+
+TraceHeader read_header(core::SnapshotReader& r) {
+  TraceHeader h;
+  h.params = core::read_params(r);
+  h.seed = r.u64();
+  h.steps = r.u64();
+  h.sample_every = r.u64();
+  h.n0 = r.u64();
+  h.byz0 = r.u64();
+  h.topology = static_cast<core::InitTopology>(r.u32());
+  h.batch_ops = r.u64();
+  h.shards = r.u64();
+  h.batch_byz_fraction = r.f64();
+  h.placement = static_cast<BatchPlacement>(r.u32());
+  h.leave_quota = r.u64();
+  h.adversary = r.str();
+  return h;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- recorder
+
+TraceRecorder::TraceRecorder(const ScenarioConfig& config, std::size_t n0,
+                             std::size_t byz0, std::string adversary_name) {
+  TraceHeader h;
+  h.params = config.params;
+  h.seed = config.seed;
+  h.steps = config.steps;
+  h.sample_every = config.sample_every;
+  h.n0 = n0;
+  h.byz0 = byz0;
+  h.topology = config.topology;
+  h.batch_ops = config.batch_ops;
+  h.shards = config.shards;
+  h.batch_byz_fraction = config.batch_byz_fraction;
+  h.placement = config.batch_placement;
+  h.leave_quota = config.batch_leave_quota;
+  h.adversary = std::move(adversary_name);
+  write_header(writer_, h);
+}
+
+void TraceRecorder::on_join(NodeId node, bool byzantine) {
+  writer_.u8(kFrameJoin);
+  writer_.u64(node.value());
+  writer_.u8(byzantine ? 1 : 0);
+}
+
+void TraceRecorder::on_leave(NodeId node) {
+  writer_.u8(kFrameLeave);
+  writer_.u64(node.value());
+}
+
+void TraceRecorder::on_batch(std::size_t joins, std::size_t byzantine_joins,
+                             const std::vector<NodeId>& leaves,
+                             std::size_t shards) {
+  writer_.u8(kFrameBatch);
+  writer_.u64(joins);
+  writer_.u64(byzantine_joins);
+  writer_.u64(shards);
+  writer_.u64(leaves.size());
+  for (const NodeId node : leaves) writer_.u64(node.value());
+}
+
+void TraceRecorder::begin_step(std::size_t t) {
+  writer_.u8(kFrameStep);
+  writer_.u64(t);
+}
+
+void TraceRecorder::record_sample(const InvariantSample& sample) {
+  writer_.u8(kFrameSample);
+  write_sample(writer_, sample);
+}
+
+void TraceRecorder::finish(const ScenarioResult& result,
+                           const std::string& path) {
+  writer_.u8(kFrameEnd);
+  write_summary(writer_, result);
+  writer_.write_file(path, kTraceMagic, kTraceFormatVersion);
+}
+
+// ------------------------------------------------------------- replayer
+
+TraceReplayResult replay_trace(const std::string& path) {
+  core::SnapshotReader reader = core::SnapshotReader::read_file(
+      path, kTraceMagic, kTraceFormatVersion, kTraceFormatVersion);
+  const TraceHeader header = read_header(reader);
+
+  TraceReplayResult replay;
+  Metrics metrics;
+  core::NowSystem system{header.params, metrics, header.seed};
+  system.initialize(header.n0, header.byz0, header.topology);
+
+  std::size_t current_step = 0;
+  const auto mismatch = [&](const std::string& what) {
+    if (replay.ok) {
+      replay.ok = false;
+      replay.error = "step " + std::to_string(current_step) + ": " + what;
+    }
+  };
+  const auto note_sample = [&](const InvariantSample& s) {
+    replay.result.samples.push_back(s);
+    replay.result.peak_byz_fraction =
+        std::max(replay.result.peak_byz_fraction, s.worst_byz_fraction);
+    if (s.compromised_clusters > 0 && !replay.result.ever_compromised) {
+      replay.result.ever_compromised = true;
+      replay.result.first_compromise_step = s.step;
+    }
+  };
+
+  std::vector<NodeId> leaves;
+  bool saw_end = false;
+  while (!reader.at_end() && replay.ok && !saw_end) {
+    switch (reader.u8()) {
+      case kFrameStep:
+        current_step = reader.u64();
+        ++replay.steps_replayed;
+        break;
+      case kFrameJoin: {
+        const NodeId recorded{reader.u64()};
+        const bool byzantine = reader.u8() != 0;
+        const auto [node, report] = system.join(byzantine);
+        (void)report;
+        if (node != recorded) {
+          mismatch("join produced node " +
+                   std::to_string(node.value()) + ", trace recorded " +
+                   std::to_string(recorded.value()));
+        }
+        break;
+      }
+      case kFrameLeave: {
+        const NodeId node{reader.u64()};
+        if (!system.state().is_placed(node)) {
+          mismatch("leave victim " + std::to_string(node.value()) +
+                   " is not placed");
+          break;
+        }
+        system.leave(node);
+        break;
+      }
+      case kFrameBatch: {
+        const std::size_t joins = reader.u64();
+        const std::size_t byz_joins = reader.u64();
+        const std::size_t shards = reader.u64();
+        const std::uint64_t count = reader.count(8);
+        leaves.clear();
+        leaves.reserve(count);
+        bool placed = true;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          leaves.push_back(NodeId{reader.u64()});
+          placed = placed && system.state().is_placed(leaves.back());
+        }
+        if (!placed) {
+          mismatch("batch names an unplaced leave victim");
+          break;
+        }
+        system.step_parallel_mixed(joins, byz_joins, leaves, shards);
+        break;
+      }
+      case kFrameSample: {
+        const InvariantSample recorded = read_sample(reader);
+        const auto report = system.check();
+        InvariantSample live;
+        live.step = recorded.step;
+        live.num_nodes = report.num_nodes;
+        live.num_clusters = report.num_clusters;
+        live.min_cluster_size = report.min_cluster_size;
+        live.max_cluster_size = report.max_cluster_size;
+        live.worst_byz_fraction = report.worst_byz_fraction;
+        live.compromised_clusters = report.compromised_clusters;
+        live.overlay_max_degree = report.overlay_max_degree;
+        live.overlay_connected = report.overlay_connected;
+        if (!(live == recorded)) {
+          std::ostringstream os;
+          os << "invariant sample diverged at recorded step "
+             << recorded.step << " (nodes " << recorded.num_nodes << " vs "
+             << live.num_nodes << ", clusters " << recorded.num_clusters
+             << " vs " << live.num_clusters << ", worst p_C "
+             << recorded.worst_byz_fraction << " vs "
+             << live.worst_byz_fraction << ")";
+          mismatch(os.str());
+          break;
+        }
+        note_sample(live);
+        ++replay.samples_checked;
+        break;
+      }
+      case kFrameEnd: {
+        const ScenarioResult recorded = read_summary(reader);
+        saw_end = true;
+        replay.result.total_splits = metrics.operation_count("split");
+        replay.result.total_merges = metrics.operation_count("merge");
+        replay.result.final_nodes = system.num_nodes();
+        replay.result.final_clusters = system.num_clusters();
+        replay.result.final_byzantine = system.state().byzantine_total();
+        replay.result.total_forced_leaves = recorded.total_forced_leaves;
+        replay.result.max_step_forced_leaves =
+            recorded.max_step_forced_leaves;
+        if (replay.result.final_nodes != recorded.final_nodes ||
+            replay.result.final_clusters != recorded.final_clusters ||
+            replay.result.final_byzantine != recorded.final_byzantine ||
+            replay.result.total_splits != recorded.total_splits ||
+            replay.result.total_merges != recorded.total_merges ||
+            replay.result.peak_byz_fraction !=
+                recorded.peak_byz_fraction ||
+            replay.result.ever_compromised != recorded.ever_compromised) {
+          mismatch("end-of-run summary diverged from the recorded one");
+        }
+        break;
+      }
+      default:
+        throw core::SnapshotError("unknown trace frame tag: " + path);
+    }
+  }
+  if (!saw_end && replay.ok) {
+    mismatch("trace has no end-of-run summary frame");
+  }
+  return replay;
+}
+
+std::string describe_trace(const std::string& path) {
+  core::SnapshotReader reader = core::SnapshotReader::read_file(
+      path, kTraceMagic, kTraceFormatVersion, kTraceFormatVersion);
+  const TraceHeader h = read_header(reader);
+  std::ostringstream os;
+  os << "seed=" << h.seed << " steps=" << h.steps << " n0=" << h.n0
+     << " byz0=" << h.byz0 << " tau=" << h.params.tau
+     << " k=" << h.params.k << " adversary=" << h.adversary;
+  if (h.batch_ops > 0) {
+    os << " batch_ops=" << h.batch_ops << " shards=" << h.shards
+       << " byz_fraction=" << h.batch_byz_fraction << " placement="
+       << (h.placement == BatchPlacement::kTargeted ? "targeted"
+                                                    : "uniform")
+       << " leave_quota=" << h.leave_quota;
+  }
+  if (!h.params.shuffle_enabled) os << " (no-shuffle)";
+  return os.str();
+}
+
+// ----------------------------------------------------------- checkpoints
+
+namespace {
+
+/// The scenario fields a resumed run must agree on (steps may legally
+/// differ — callers can extend the horizon).
+void write_scenario_fingerprint(core::SnapshotWriter& w,
+                                const ScenarioConfig& c) {
+  core::save_params(c.params, w);
+  w.u64(c.seed);
+  w.u64(c.sample_every);
+  w.u64(c.n0);
+  w.f64(c.initial_byz_fraction);
+  w.u32(static_cast<std::uint32_t>(c.topology));
+  w.u64(c.batch_ops);
+  w.f64(c.batch_byz_fraction);
+  w.u32(static_cast<std::uint32_t>(c.batch_placement));
+  w.u64(c.batch_leave_quota);
+}
+
+void check_scenario_fingerprint(core::SnapshotReader& r,
+                                const ScenarioConfig& c) {
+  core::check_params(c.params, r);
+  const auto fail = [](const char* field) {
+    throw core::SnapshotError(
+        std::string("checkpoint scenario mismatch: ") + field);
+  };
+  if (r.u64() != c.seed) fail("seed");
+  if (r.u64() != c.sample_every) fail("sample_every");
+  if (r.u64() != c.n0) fail("n0");
+  if (r.f64() != c.initial_byz_fraction) fail("initial_byz_fraction");
+  if (r.u32() != static_cast<std::uint32_t>(c.topology)) fail("topology");
+  if (r.u64() != c.batch_ops) fail("batch_ops");
+  if (r.f64() != c.batch_byz_fraction) fail("batch_byz_fraction");
+  if (r.u32() != static_cast<std::uint32_t>(c.batch_placement)) {
+    fail("batch_placement");
+  }
+  if (r.u64() != c.batch_leave_quota) fail("batch_leave_quota");
+}
+
+}  // namespace
+
+void save_scenario_checkpoint(const ScenarioConfig& config,
+                              const adversary::Adversary& adversary,
+                              const core::NowSystem& system,
+                              const Rng& driver_rng,
+                              const ScenarioResult& partial,
+                              std::size_t step, std::size_t splits_so_far,
+                              std::size_t merges_so_far,
+                              const std::string& path) {
+  core::SnapshotWriter w;
+  write_scenario_fingerprint(w, config);
+  w.u64(step);
+  for (const std::uint64_t word : driver_rng.state()) w.u64(word);
+  w.u64(partial.samples.size());
+  for (const InvariantSample& s : partial.samples) write_sample(w, s);
+  write_summary(w, partial);
+  w.u64(splits_so_far);
+  w.u64(merges_so_far);
+  w.str(adversary.name());
+  w.f64(adversary.tau());
+  adversary.save_state(w);
+  core::save_system(system, w);
+  w.write_file(path, kCheckpointMagic, kCheckpointFormatVersion);
+}
+
+ScenarioResume load_scenario_checkpoint(const ScenarioConfig& config,
+                                        adversary::Adversary& adversary,
+                                        core::NowSystem& system,
+                                        Rng& driver_rng,
+                                        ScenarioResult& partial,
+                                        const std::string& path) {
+  core::SnapshotReader r = core::SnapshotReader::read_file(
+      path, kCheckpointMagic, kCheckpointFormatVersion,
+      kCheckpointFormatVersion);
+  check_scenario_fingerprint(r, config);
+  ScenarioResume resume;
+  resume.step = r.u64();
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) word = r.u64();
+  driver_rng.restore_state(rng_state);
+  // One serialized sample is 8 u64/f64 words plus the connected flag.
+  const std::uint64_t sample_count = r.count(65);
+  partial.samples.clear();
+  partial.samples.reserve(sample_count);
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    partial.samples.push_back(read_sample(r));
+  }
+  const ScenarioResult summary = read_summary(r);
+  partial.peak_byz_fraction = summary.peak_byz_fraction;
+  partial.ever_compromised = summary.ever_compromised;
+  partial.first_compromise_step = summary.first_compromise_step;
+  partial.total_forced_leaves = summary.total_forced_leaves;
+  partial.max_step_forced_leaves = summary.max_step_forced_leaves;
+  resume.splits_so_far = r.u64();
+  resume.merges_so_far = r.u64();
+  const std::string adversary_name = r.str();
+  if (adversary_name != adversary.name()) {
+    throw core::SnapshotError("checkpoint adversary mismatch: saved '" +
+                              adversary_name + "', resuming with '" +
+                              adversary.name() + "'");
+  }
+  // The corruption budget is the one constructor argument every strategy
+  // shares and the trajectory always depends on; the rest of the
+  // construction (schedules, background-churn rates) must be reproduced
+  // by the caller — bit-identical resumption is only guaranteed for an
+  // identically constructed adversary.
+  if (r.f64() != adversary.tau()) {
+    throw core::SnapshotError(
+        "checkpoint adversary mismatch: different tau");
+  }
+  adversary.load_state(r);
+  core::load_system(system, r);
+  if (!r.at_end()) {
+    throw core::SnapshotError("trailing bytes after checkpoint payload: " +
+                              path);
+  }
+  return resume;
+}
+
+}  // namespace now::sim

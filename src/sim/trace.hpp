@@ -1,0 +1,122 @@
+// Scenario record & replay (DESIGN.md §8).
+//
+// A trace is a compact framed binary file capturing everything an
+// adversary (or the batched scenario driver) DID to a deployment: every
+// join (with its corruption bit), every leave victim, every batched step's
+// exact inputs, the step boundaries, and the invariant samples the run
+// observed. All protocol-internal randomness derives from the recorded
+// seed, so the event stream plus the header IS the full trajectory:
+// replaying the events against a fresh system reproduces every membership
+// move bit-exactly, and the recorded invariant samples double as a
+// self-check — replay fails loudly on the first field that differs.
+//
+// This is the evaluation methodology of the dynamic-BRB line of work
+// (replaying adversarial schedules against evolving memberships), applied
+// to NOW: a failing adversarial scenario no longer evaporates with the
+// process that found it — its trace is a portable, shrinkable, CI-gated
+// reproducer (sim/corpus.hpp, bench/corpus/).
+//
+// The same file also defines the scenario CHECKPOINT format — the system
+// snapshot (core/snapshot.hpp) wrapped with the scenario driver's own
+// state (driver RNG, accumulated samples, adversary state) — which backs
+// ScenarioConfig::{checkpoint_every, halt_at, resume_from} and the
+// split long-run of bench_thm3_longrun.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "core/now.hpp"
+#include "core/snapshot.hpp"
+#include "sim/scenario.hpp"
+
+namespace now::sim {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Records a scenario into an in-memory trace; run_scenario drives it
+/// (attach as the system's TraceSink, call begin_step/record_sample, then
+/// finish). Purely a writer: it never inspects the system.
+class TraceRecorder final : public core::TraceSink {
+ public:
+  /// `n0` / `byz0` are the RESOLVED initialization inputs (after the
+  /// sqrt(N) and tau defaults were applied).
+  TraceRecorder(const ScenarioConfig& config, std::size_t n0,
+                std::size_t byz0, std::string adversary_name);
+
+  void on_join(NodeId node, bool byzantine) override;
+  void on_leave(NodeId node) override;
+  void on_batch(std::size_t joins, std::size_t byzantine_joins,
+                const std::vector<NodeId>& leaves,
+                std::size_t shards) override;
+
+  void begin_step(std::size_t t);
+  void record_sample(const InvariantSample& sample);
+
+  /// Appends the end-of-run summary and writes the framed file.
+  void finish(const ScenarioResult& result, const std::string& path);
+
+ private:
+  core::SnapshotWriter writer_;
+};
+
+/// Outcome of replaying one trace.
+struct TraceReplayResult {
+  bool ok = true;
+  /// First mismatch (empty when ok): which frame diverged and how.
+  std::string error;
+  std::size_t steps_replayed = 0;
+  std::size_t samples_checked = 0;
+  /// The scenario outcome RECONSTRUCTED from the replayed run (samples,
+  /// peak fraction, compromise step, final counts) — callers report
+  /// verdicts from this exactly as they would from run_scenario.
+  ScenarioResult result;
+};
+
+/// Re-drives a fresh deployment from the trace and verifies every
+/// recorded invariant sample and the end-of-run summary bit-exactly.
+/// Throws core::SnapshotError on malformed files; event/sample divergence
+/// is reported through the result instead (it means behavior drifted, not
+/// that the file is damaged).
+[[nodiscard]] TraceReplayResult replay_trace(const std::string& path);
+
+/// One-line human summary of a trace's header + summary frames (the
+/// `now_trace info` listing and the corpus manifest).
+[[nodiscard]] std::string describe_trace(const std::string& path);
+
+// ----------------------------------------------------------- checkpoints
+
+/// Saves the full scenario state: config fingerprint, current step,
+/// driver RNG, the partial result (samples so far + aggregates), the
+/// split/merge counts attributed to the run so far, the adversary's
+/// internal state, and the embedded system snapshot.
+void save_scenario_checkpoint(const ScenarioConfig& config,
+                              const adversary::Adversary& adversary,
+                              const core::NowSystem& system,
+                              const Rng& driver_rng,
+                              const ScenarioResult& partial,
+                              std::size_t step, std::size_t splits_so_far,
+                              std::size_t merges_so_far,
+                              const std::string& path);
+
+struct ScenarioResume {
+  std::size_t step = 0;
+  std::size_t splits_so_far = 0;
+  std::size_t merges_so_far = 0;
+};
+
+/// Restores a checkpoint into a freshly constructed system + the caller's
+/// driver RNG / result accumulators, returning the step to resume after.
+/// Throws core::SnapshotError on malformed files or config mismatch.
+ScenarioResume load_scenario_checkpoint(const ScenarioConfig& config,
+                                        adversary::Adversary& adversary,
+                                        core::NowSystem& system,
+                                        Rng& driver_rng,
+                                        ScenarioResult& partial,
+                                        const std::string& path);
+
+}  // namespace now::sim

@@ -1,0 +1,127 @@
+// now_trace — CLI driver for the scenario trace subsystem (DESIGN.md §8).
+//
+//   now_trace gen --out=DIR [--count=N] [--seed=S] [--min-steps=A]
+//                 [--max-steps=B]
+//       Generates a seeded scenario corpus: N randomized scenarios within
+//       the adversary budget, one replayable trace each, failing ones
+//       shrunk to minimal reproducers. Prints a manifest line per case.
+//
+//   now_trace replay FILE...
+//       Replays each trace against a fresh deployment and verifies every
+//       recorded invariant sample and the end-of-run summary bit-exactly.
+//       Exit 1 on the first divergence — the CI corpus job's gate.
+//
+//   now_trace info FILE...
+//       Prints each trace's header summary without replaying.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "sim/corpus.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using now::sim::CorpusAxes;
+using now::sim::TraceReplayResult;
+
+std::uint64_t arg_value(std::string_view arg, std::string_view prefix,
+                        std::uint64_t fallback) {
+  if (!arg.starts_with(prefix)) return fallback;
+  return static_cast<std::uint64_t>(
+      std::strtoull(arg.substr(prefix.size()).data(), nullptr, 10));
+}
+
+int run_gen(const std::vector<std::string>& args) {
+  CorpusAxes axes;
+  std::string out_dir = "corpus";
+  for (const std::string& arg : args) {
+    if (arg.starts_with("--out=")) out_dir = arg.substr(6);
+    axes.count = static_cast<std::size_t>(
+        arg_value(arg, "--count=", axes.count));
+    axes.master_seed = arg_value(arg, "--seed=", axes.master_seed);
+    axes.min_steps = static_cast<std::size_t>(
+        arg_value(arg, "--min-steps=", axes.min_steps));
+    axes.max_steps = static_cast<std::size_t>(
+        arg_value(arg, "--max-steps=", axes.max_steps));
+  }
+  const auto cases = now::sim::generate_corpus(axes, out_dir);
+  std::size_t failing = 0;
+  for (const auto& c : cases) {
+    std::cout << c.name << "  " << c.trace_file << "\n    "
+              << now::sim::describe_trace(out_dir + "/" + c.trace_file)
+              << "\n    samples=" << c.result.samples.size()
+              << " peak_pC=" << c.result.peak_byz_fraction;
+    if (c.failing) {
+      ++failing;
+      std::cout << "  FAILING (minimal reproducer, " << c.shrink_rounds
+                << " shrink rounds)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "generated " << cases.size() << " trace(s) into " << out_dir
+            << " (" << failing << " failing reproducer(s))\n";
+  return 0;
+}
+
+int run_replay(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: now_trace replay FILE...\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (const std::string& path : args) {
+    try {
+      const TraceReplayResult replay = now::sim::replay_trace(path);
+      if (replay.ok) {
+        std::cout << "REPLAYED " << path << ": " << replay.steps_replayed
+                  << " steps, " << replay.samples_checked
+                  << " invariant samples verified, peak_pC="
+                  << replay.result.peak_byz_fraction << "\n";
+      } else {
+        all_ok = false;
+        std::cerr << "DIVERGED " << path << ": " << replay.error << "\n";
+      }
+    } catch (const now::core::SnapshotError& e) {
+      all_ok = false;
+      std::cerr << "UNREADABLE " << path << ": " << e.what() << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int run_info(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: now_trace info FILE...\n";
+    return 2;
+  }
+  for (const std::string& path : args) {
+    try {
+      std::cout << path << ": " << now::sim::describe_trace(path) << "\n";
+    } catch (const now::core::SnapshotError& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: now_trace {gen|replay|info} ...\n";
+    return 2;
+  }
+  const std::string_view command{argv[1]};
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  if (command == "gen") return run_gen(args);
+  if (command == "replay") return run_replay(args);
+  if (command == "info") return run_info(args);
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
