@@ -56,7 +56,8 @@ void run() {
       const auto want = static_cast<std::size_t>(
           std::ceil(kTau * (1 + kEps) * static_cast<double>(cluster.size())));
       // Clear current marks in the target.
-      std::vector<NodeId> members = cluster.members();
+      const auto member_view = cluster.members();
+      std::vector<NodeId> members(member_view.begin(), member_view.end());
       std::size_t delta_added = 0;
       for (std::size_t i = 0; i < members.size(); ++i) {
         const bool should_be_byz = i < want;

@@ -12,7 +12,9 @@
 
 #include "agreement/phase_king.hpp"
 #include "cluster/rand_num.hpp"
+#include "common/thread_pool.hpp"
 #include "core/now.hpp"
+#include "core/state.hpp"
 #include "graph/erdos_renyi.hpp"
 #include "graph/random_walk.hpp"
 #include "graph/spectral.hpp"
@@ -229,6 +231,88 @@ BENCHMARK(BM_JoinLeaveCycle)
     ->Args({100000, 4, 2})
     ->Args({200000, 1, 0})
     ->Args({200000, 4, 0});
+
+/// The stage-1 member-edit hot loop in isolation: apply_member_edits over
+/// every cluster of an n-node partition — netting, one-pass merge, in-place
+/// slab try_assign — with slots block-partitioned over `shards` workers,
+/// exactly the shape of the batch commit's stage 1. Edits alternate between
+/// a forward sweep (swap each cluster's 8 lowest members for 8 fresh ids)
+/// and its inverse, so the state is steady, deltas net to zero, and no
+/// sweep ever spills. Time is reported per cluster-edit application; this
+/// is the microbenchmark BM_JoinLeaveCycle's slab win is attributed with.
+void BM_MemberEditApply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kClusterSize = 64;
+  constexpr std::size_t kEditsPerCluster = 8;
+  const std::size_t k = n / kClusterSize;
+  over::OverParams over;
+  over.max_size = std::bit_ceil(std::uint64_t{2} * n);
+  core::NowState st{over};
+  std::vector<std::size_t> slots;
+  slots.reserve(k);
+  for (std::size_t ci = 0; ci < k; ++ci) {
+    const ClusterId c = st.create_cluster();
+    slots.push_back(st.slot_index(c));
+    for (std::size_t i = 0; i < kClusterSize; ++i) {
+      const NodeId node{ci * kClusterSize + i};
+      st.register_node(node);
+      st.add_member(c, node);
+    }
+  }
+  std::vector<std::vector<core::NowState::MemberEdit>> forward(k);
+  std::vector<std::vector<core::NowState::MemberEdit>> backward(k);
+  for (std::size_t ci = 0; ci < k; ++ci) {
+    for (std::size_t j = 0; j < kEditsPerCluster; ++j) {
+      const NodeId old_id{ci * kClusterSize + j};
+      const NodeId new_id{n + ci * kEditsPerCluster + j};
+      forward[ci].push_back({old_id, /*add=*/false});
+      forward[ci].push_back({new_id, /*add=*/true});
+      backward[ci].push_back({new_id, /*add=*/false});
+      backward[ci].push_back({old_id, /*add=*/true});
+    }
+  }
+  ThreadPool pool{shards > 1 ? shards - 1 : 0};
+  std::vector<core::NowState::EditScratch> scratch(shards);
+  const auto sweep =
+      [&](const std::vector<std::vector<core::NowState::MemberEdit>>& edits) {
+        pool.parallel_for(shards, [&](std::size_t s) {
+          const std::size_t begin = s * k / shards;
+          const std::size_t end = (s + 1) * k / shards;
+          for (std::size_t ci = begin; ci < end; ++ci) {
+            benchmark::DoNotOptimize(
+                st.apply_member_edits(slots[ci], edits[ci], scratch[s]));
+          }
+        });
+      };
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    sweep(forward);
+    sweep(backward);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    state.SetIterationTime(elapsed);
+    total_seconds += elapsed;
+  }
+  for (const auto& sc : scratch) {
+    if (!sc.spills.empty()) {
+      state.SkipWithError("steady-state sweep spilled unexpectedly");
+    }
+  }
+  // Per-cluster-edit cost: each iteration applies one forward and one
+  // backward edit list to every cluster.
+  state.counters["edit_ns"] = benchmark::Counter(
+      total_seconds * 1e9 /
+      (static_cast<double>(state.iterations()) * static_cast<double>(2 * k)));
+}
+BENCHMARK(BM_MemberEditApply)
+    ->UseManualTime()
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({1000000, 1})
+    ->Args({1000000, 4});
 
 }  // namespace
 }  // namespace now

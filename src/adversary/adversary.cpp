@@ -81,9 +81,15 @@ void JoinLeaveAdversary::retarget(const core::NowSystem& system) {
   const auto& state = system.state();
   if (target_.valid() && state.has_cluster(target_)) return;
   double best = -1.0;
+  // Sort the Byzantine ids once; the sweep below then streams each
+  // cluster's slab extent (cluster.hpp's sorted-span overload) instead of
+  // paying a paged NodeSet lookup per member.
+  std::vector<NodeId> sorted_byz(state.byzantine.begin(),
+                                 state.byzantine.end());
+  std::sort(sorted_byz.begin(), sorted_byz.end());
   for (const ClusterId id : state.cluster_ids()) {
     const double p =
-        cluster::byzantine_fraction(state.cluster_at(id), state.byzantine);
+        cluster::byzantine_fraction(state.cluster_at(id), sorted_byz);
     if (p > best) {
       best = p;
       target_ = id;
@@ -126,9 +132,15 @@ void ForcedLeaveAdversary::retarget(const core::NowSystem& system) {
   const auto& state = system.state();
   if (target_.valid() && state.has_cluster(target_)) return;
   double best = -1.0;
+  // Sort the Byzantine ids once; the sweep below then streams each
+  // cluster's slab extent (cluster.hpp's sorted-span overload) instead of
+  // paying a paged NodeSet lookup per member.
+  std::vector<NodeId> sorted_byz(state.byzantine.begin(),
+                                 state.byzantine.end());
+  std::sort(sorted_byz.begin(), sorted_byz.end());
   for (const ClusterId id : state.cluster_ids()) {
     const double p =
-        cluster::byzantine_fraction(state.cluster_at(id), state.byzantine);
+        cluster::byzantine_fraction(state.cluster_at(id), sorted_byz);
     if (p > best) {
       best = p;
       target_ = id;

@@ -44,7 +44,7 @@ AggregationReport aggregate_sum(
   // Local phase: members exchange values all-to-all inside each cluster.
   std::map<ClusterId, std::uint64_t> partial;
   for (const ClusterId c : order) {
-    const auto& members = state.cluster_at(c).members();
+    const auto members = state.cluster_at(c).members();
     const auto s = static_cast<std::uint64_t>(members.size());
     system.metrics().add_messages(s * (s - 1));
     std::uint64_t sum = 0;

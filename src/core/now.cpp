@@ -64,10 +64,12 @@ over::OverParams make_over_params(const NowParams& p) {
 
 /// One exchange swap decided during planning: x (member of the wave's
 /// cluster) trades places with y (member of the partner). Both endpoints
-/// are recorded by home-cluster SLOT and by FLAT SNAPSHOT POSITION
-/// (PlanCache::flat_offset space) at plan time, so the commit's conflict
-/// detection needs no paged home lookups: a swap conflicts exactly when one
-/// of its flat footprints is touched by more than one planned move.
+/// are recorded by home-cluster SLOT and by SLAB POSITION
+/// (MemberSlab::first(slot) + sorted member index — extents are frozen
+/// between the snapshot and the commit, so positions are stable and
+/// injective) at plan time, so the commit's conflict detection needs no
+/// paged home lookups: a swap conflicts exactly when one of its slab
+/// footprints is touched by more than one planned move.
 struct PendingSwap {
   NodeId x;
   NodeId y;
@@ -142,10 +144,11 @@ struct BatchScratch {
   /// Wave index per touched slot (reset per batch via the wave lists).
   std::vector<std::size_t> wave_of_slot;
 
-  /// Epoch-stamped footprint counters over flat snapshot positions
-  /// (PlanCache::flat_offset space): entry = (epoch << 4) | leaver_bit(8)
-  /// | saturating move count (0..2). The commit's conflict detection keys
-  /// on these — no per-batch clearing, no paged lookups.
+  /// Epoch-stamped footprint counters over slab positions (sized to
+  /// MemberSlab::tail(); epoch stamps absorb layout changes between
+  /// batches): entry = (epoch << 4) | leaver_bit(8) | saturating move
+  /// count (0..2). The commit's conflict detection keys on these — no
+  /// per-batch clearing, no paged lookups.
   std::vector<std::uint64_t> foot;
   std::uint64_t foot_epoch = 0;
 
@@ -254,8 +257,9 @@ void plan_wave(const NowState& state, const NowParams& params,
   std::uint64_t rounds_max = 0;
   const std::size_t c_size = cache.cluster_by_index[c_index]->size();
   const std::uint64_t c_neighborhood = cache.neighborhood_by_index[c_index];
-  const std::uint64_t c_flat = cache.flat_offset[c_index];
-  const std::vector<NodeId>& snapshot =
+  const cluster::MemberSlab& slab = state.member_slab();
+  const std::uint64_t c_flat = slab.first(wave.slot);
+  const std::span<const NodeId> snapshot =
       cache.cluster_by_index[c_index]->members();
   const bool sampled = params.walk_mode == WalkMode::kSampleExact;
   for (std::size_t pos = 0; pos < snapshot.size(); ++pos) {
@@ -284,19 +288,22 @@ void plan_wave(const NowState& state, const NowParams& params,
         ws.partner_epoch[partner_index] = ws.epoch;
         out.partners.push_back(cache.id_by_index[partner_index]);
       }
-      const cluster::Cluster& to = *cache.cluster_by_index[partner_index];
-      const std::uint64_t to_size = to.size();
-      chain_rounds +=
-          cluster::cluster_send_charge(c_size, to.size(), 1, metrics);
+      // One extent-table read for the whole partner interaction: the span
+      // carries base + size, and the slab is read-only for the entire plan
+      // phase, so nothing below can invalidate it (the repeated size()/
+      // member_at() calls this replaces each re-read the extent — the
+      // intervening Metrics/Rng calls keep the compiler from hoisting).
+      const std::uint32_t partner_slot = cache.slot_by_index[partner_index];
+      const std::span<const NodeId> to_members = slab.members(partner_slot);
+      const std::uint64_t to_size = to_members.size();
+      chain_rounds += cluster::cluster_send_charge(c_size, to_size, 1, metrics);
       const auto draw = cluster::rand_num_value(
-          to.size(), to.size(), params.rand_num_mode, metrics, rng);
+          to_size, to_size, params.rand_num_mode, metrics, rng);
       chain_rounds += draw.cost.rounds;
       const PendingSwap swap{
-          x, to.member_at(draw.value), wave.slot,
-          cache.slot_by_index[partner_index],
-          static_cast<std::uint32_t>(c_flat + pos),
-          static_cast<std::uint32_t>(cache.flat_offset[partner_index] +
-                                     draw.value)};
+          x, to_members[static_cast<std::size_t>(draw.value)], wave.slot,
+          partner_slot, static_cast<std::uint32_t>(c_flat + pos),
+          static_cast<std::uint32_t>(slab.first(partner_slot) + draw.value)};
       out.swaps.push_back(swap);
       if (foot != nullptr) {
         foot->foot_count_move_atomic(swap.x_flat);
@@ -709,15 +716,15 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       (params_.resolve_mode == ResolveMode::kAuto && pooled);
   if (optimistic) {
     ++bs.foot_epoch;
-    if (bs.foot.size() < cache.total_weight) {
-      bs.foot.resize(cache.total_weight, 0);
+    const cluster::MemberSlab& slab = state_.member_slab();
+    if (bs.foot.size() < slab.tail()) {
+      bs.foot.resize(slab.tail(), 0);
     }
     for (const std::uint32_t slot : bs.leaver_slots) {
       const std::size_t index = cache.index_by_slot[slot];
       const cluster::Cluster& home = *cache.cluster_by_index[index];
       for (const NodeId leaver : bs.leavers_by_slot[slot]) {
-        bs.foot_mark_leaver(cache.flat_offset[index] +
-                            home.index_of(leaver));
+        bs.foot_mark_leaver(slab.first(slot) + home.index_of(leaver));
       }
     }
   }
@@ -1105,6 +1112,29 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       for (const std::size_t slot : bs.touched_scratch[s]) apply(slot);
     });
 
+    // Stage 2 (sequential), part 0: re-home the slots whose merged
+    // membership outgrew their slab extent. The spill set is
+    // shard-independent (canonical per-slot edits against deterministic
+    // extent caps), so committing in ascending slot order makes the tail
+    // allocation sequence — and the slab layout — canonical. Must precede
+    // apply_size_deltas, whose debug contract checks final extent sizes.
+    {
+      std::vector<std::pair<std::size_t, const std::vector<NodeId>*>> spilled;
+      for (std::size_t s = 0; s < shards; ++s) {
+        for (const auto& [slot, members] : bs.edit_workspaces[s].spills) {
+          spilled.emplace_back(slot, &members);
+        }
+      }
+      std::sort(spilled.begin(), spilled.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [slot, members] : spilled) {
+        state_.commit_spilled_members(slot, *members);
+      }
+      for (std::size_t s = 0; s < shards; ++s) {
+        bs.edit_workspaces[s].spills.clear();
+      }
+    }
+
     // Stage 2 (sequential): merge the per-shard size deltas into the
     // Fenwick mirror in one O(k)-bounded pass, reconcile the placed-node
     // count, then run the deferred splits/merges on every cluster whose
@@ -1137,6 +1167,12 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
         commit_rounds += do_merge(c, combined);
       }
     }
+    // Batch-boundary compaction opportunity: a batch of pure in-place
+    // try_assigns never touches a sequential slab mutator, so the dead
+    // space left by earlier relocations is bounded here. The trigger is a
+    // pure function of (tail, live) — both shard-independent — so the
+    // compaction schedule is canonical.
+    state_.maybe_compact_slab();
     metrics_.add_rounds(commit_rounds);
     combined.commit_cost = commit.cost();
 
@@ -1210,7 +1246,11 @@ Cost NowSystem::exchange_all(ClusterId c,
   batch_->cache.invalidate();  // sequential mutation outside the batch path
   std::uint64_t rounds_max = 0;
 
-  const std::vector<NodeId> snapshot = state_.cluster_at(c).members();
+  // Deep copy: the exchange below mutates membership (and may relocate
+  // slab extents), so the frozen snapshot cannot be a span over the slab.
+  const std::span<const NodeId> snapshot_view = state_.cluster_at(c).members();
+  const std::vector<NodeId> snapshot(snapshot_view.begin(),
+                                     snapshot_view.end());
   // Distinct partner clusters this exchange touched; linear dedup is fine —
   // a cluster has polylog members, so the list stays tiny.
   std::vector<ClusterId> partners;
@@ -1377,8 +1417,10 @@ std::uint64_t NowSystem::do_split(ClusterId c, OpReport& report) {
   report.splits += 1;
   std::uint64_t rounds = 0;
 
-  // Random bisection: one randNum call per Fisher–Yates step.
-  std::vector<NodeId> members = state_.cluster_at(c).members();
+  // Random bisection: one randNum call per Fisher–Yates step. Deep copy —
+  // the moves below carve the slab, invalidating spans over it.
+  const std::span<const NodeId> member_view = state_.cluster_at(c).members();
+  std::vector<NodeId> members(member_view.begin(), member_view.end());
   for (std::size_t i = 0; i + 1 < members.size(); ++i) {
     const auto draw = cluster::rand_num_value(
         members.size(), members.size() - i, params_.rand_num_mode, metrics_,
@@ -1429,7 +1471,9 @@ std::uint64_t NowSystem::do_merge(ClusterId c, OpReport& report) {
       victim = walk.cluster;
     }
     if (victim == c) return rounds;  // pathological: give up this step
-    const std::vector<NodeId> moving = state_.cluster_at(victim).members();
+    const std::span<const NodeId> moving_view =
+        state_.cluster_at(victim).members();
+    const std::vector<NodeId> moving(moving_view.begin(), moving_view.end());
     for (const NodeId x : moving) state_.move_node(x, victim, c);
     charge_neighborhood_broadcast(state_, victim, 1, metrics_);
     std::uint64_t repair_rounds = 0;
@@ -1446,8 +1490,10 @@ std::uint64_t NowSystem::do_merge(ClusterId c, OpReport& report) {
     return rounds;
   }
 
-  // Algorithm 2 variant: the undersized cluster dissolves; members re-join.
-  const std::vector<NodeId> members = state_.cluster_at(c).members();
+  // Algorithm 2 variant: the undersized cluster dissolves; members re-join
+  // (deep copy — the removals below edit the slab extent under the span).
+  const std::span<const NodeId> member_view = state_.cluster_at(c).members();
+  const std::vector<NodeId> members(member_view.begin(), member_view.end());
   charge_neighborhood_broadcast(state_, c, 1, metrics_);  // "C is removed"
   rounds += 1;
   for (const NodeId x : members) {

@@ -51,13 +51,6 @@ void PlanCache::refresh(const NowState& state, const NowParams& params) {
   if (params.walk_mode == WalkMode::kSampleExact) {
     walk = rand_cl_cost_model(state, params);
   }
-  flat_offset.resize(current_weight.size());
-  std::uint64_t offset = 0;
-  for (std::size_t i = 0; i < current_weight.size(); ++i) {
-    flat_offset[i] = offset;
-    offset += current_weight[i];
-  }
-  assert(offset == total_weight);
 }
 
 void PlanCache::apply_size_delta(const NowState& state, std::size_t slot,

@@ -67,12 +67,11 @@ struct PlanCache {
   /// Refreshed every batch (n and k move), O(1).
   RandClResult walk;
 
-  /// Flat snapshot-position space: member j of the cluster at dense index
-  /// i has flat id flat_offset[i] + j. The commit's conflict detection
-  /// keys its footprint counters on these (both swap endpoints are known
-  /// by snapshot position at plan time, so no paged home lookups are
-  /// needed to detect colliding swaps). Refreshed every batch, O(k).
-  std::vector<std::uint64_t> flat_offset;
+  // The commit's conflict detection keys its footprint counters directly
+  // on SLAB POSITIONS (MemberSlab::first(slot) + sorted member index):
+  // extents are frozen between snapshot and commit, so the positions are
+  // stable, injective, and known at plan time — no per-batch prefix-sum
+  // flat-offset table and no paged home lookups are needed.
 
   // ------------------------------------------------------- alias sampler
   /// Stale Vose table (exact integer thresholds over table_total units).
@@ -98,7 +97,7 @@ struct PlanCache {
   void invalidate() { valid = false; }
 
   /// Per-batch refresh of the cheap derived quantities: the walk cost
-  /// model (n, k move every batch) and the flat snapshot offsets.
+  /// model (n and k move every batch), O(1).
   void refresh(const NowState& state, const NowParams& params);
 
   /// Folds one committed per-slot size delta (the same deltas stage 2

@@ -1,8 +1,12 @@
 #include "core/snapshot.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdio>
+#include <limits>
+#include <span>
+#include <type_traits>
 
 #include "core/now.hpp"
 #include "core/state.hpp"
@@ -24,6 +28,27 @@ struct File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 };
+
+/// Bulk little-endian NodeId block. On little-endian hosts (every CI
+/// target) this is one memcpy of the slab extent; the portable fallback
+/// writes per-element u64 in the identical byte layout.
+void write_node_ids(SnapshotWriter& w, std::span<const NodeId> ids) {
+  static_assert(sizeof(NodeId) == sizeof(std::uint64_t) &&
+                std::is_trivially_copyable_v<NodeId>);
+  if constexpr (std::endian::native == std::endian::little) {
+    w.bytes(ids.data(), ids.size() * sizeof(NodeId));
+  } else {
+    for (const NodeId id : ids) w.u64(id.value());
+  }
+}
+
+void read_node_ids(SnapshotReader& r, std::span<NodeId> out) {
+  if constexpr (std::endian::native == std::endian::little) {
+    r.bytes(out.data(), out.size() * sizeof(NodeId));
+  } else {
+    for (NodeId& id : out) id = NodeId{r.u64()};
+  }
+}
 
 }  // namespace
 
@@ -128,16 +153,27 @@ void snapshot_save_state(const NowState& state, SnapshotWriter& w) {
   w.u64(state.next_node_id_);
   w.u64(state.next_cluster_id_);
 
+  // Membership slab (format v2): the allocated tail is written explicitly —
+  // it is NOT recomputable from the extents (the last-allocated extent may
+  // have been released) and the compaction trigger reads it — then one
+  // extent record + bulk member block per live slot. Gaps between extents
+  // are dead bytes and are not serialized; load zero-fills them
+  // (unobservable: no read ever leaves [first, first + size)).
+  const cluster::MemberSlab& slab = *state.slab_;
   w.u64(state.slots_.size());
-  for (const auto& slot : state.slots_) {
-    if (!slot.has_value()) {
+  w.u64(slab.tail());
+  for (std::size_t slot = 0; slot < state.slots_.size(); ++slot) {
+    if (!state.slots_[slot].has_value()) {
       w.u8(0);
       continue;
     }
+    const cluster::MemberSlab::Extent& e = slab.extent(slot);
     w.u8(1);
-    w.u64(slot->id().value());
-    w.u64(slot->size());
-    for (const NodeId member : slot->members()) w.u64(member.value());
+    w.u64(state.slots_[slot]->id().value());
+    w.u64(e.first);
+    w.u64(e.cap);
+    w.u64(e.size);
+    write_node_ids(w, slab.members(slot));
   }
   w.u64(state.free_slots_.size());
   for (const std::uint32_t slot : state.free_slots_) w.u32(slot);
@@ -177,27 +213,61 @@ void snapshot_load_state(NowState& state, SnapshotReader& r) {
   state.sizes_ = FenwickTree{};
   state.sizes_.resize(slot_count);
 
+  // Slab tail. Every live member contributes 8 payload bytes below, and at
+  // rest the slab honors tail <= 2 * live + slack (maybe_compact runs at
+  // every sequential mutation and at each batch boundary), so a corrupt or
+  // hostile tail that would drive an allocation far beyond the actual
+  // payload size is rejected before the pool is sized.
+  const std::uint64_t slab_tail = r.u64();
+  if (slab_tail >
+      2 * (r.remaining() / 8) + cluster::MemberSlab::kCompactSlack) {
+    throw SnapshotError("slab tail exceeds plausible payload");
+  }
+  // The slab stores pool positions as u32 (MemberSlab::Extent); the
+  // plausibility bound above keeps any honest tail far below that, so a
+  // larger value can only be corruption.
+  if (slab_tail > std::numeric_limits<std::uint32_t>::max()) {
+    throw SnapshotError("slab tail exceeds pool position range");
+  }
+  state.slab_->restore_reset(static_cast<std::size_t>(slot_count), slab_tail);
+
   std::vector<NodeId> members;
-  std::vector<NodeId> scratch;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;  // first,cap
   for (std::uint64_t slot = 0; slot < slot_count; ++slot) {
     if (r.u8() == 0) continue;
     const ClusterId id{r.u64()};
+    const std::uint64_t first = r.u64();
+    const std::uint64_t cap = r.u64();
     const std::uint64_t size = r.count(8);
-    members.clear();
-    members.reserve(size);
-    for (std::uint64_t i = 0; i < size; ++i) {
-      members.push_back(NodeId{r.u64()});
-      if (i > 0 && !(members[i - 1] < members[i])) {
+    if (size > cap || cap > slab_tail || first > slab_tail - cap) {
+      throw SnapshotError("slab extent out of bounds");
+    }
+    members.resize(static_cast<std::size_t>(size));
+    read_node_ids(r, members);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (!(members[i - 1] < members[i])) {
         throw SnapshotError("cluster member list not strictly sorted");
       }
     }
-    auto& cluster = state.slots_[slot].emplace(id);
-    cluster.apply_sorted_edits({}, members, scratch);
+    state.slots_[slot].emplace(id, *state.slab_,
+                               static_cast<std::size_t>(slot));
+    state.slab_->restore_extent(static_cast<std::size_t>(slot), first, cap,
+                                members);
+    if (cap > 0) extents.emplace_back(first, cap);
     state.cluster_slot_.set(id.value(),
                             static_cast<std::uint32_t>(slot));
     for (const NodeId m : members) state.node_home_.set(m.value(), id);
     state.placed_count_ += members.size();
     state.sizes_.add(static_cast<std::size_t>(slot), size);
+  }
+  // Extents must be pairwise disjoint over their full [first, first + cap)
+  // ranges — overlapping caps would let one slot's in-place edits corrupt
+  // another's members after restore.
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i - 1].first + extents[i - 1].second > extents[i].first) {
+      throw SnapshotError("slab extents overlap");
+    }
   }
 
   const std::uint64_t free_count = r.count(4);

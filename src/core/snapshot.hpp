@@ -2,18 +2,21 @@
 // deterministic state of a NOW deployment (DESIGN.md §8).
 //
 // A snapshot captures everything the protocol's future trajectory depends
-// on: the NowState slot tables and free lists, the node/cluster id
-// counters, the node -> home map (rebuilt from membership), the Byzantine
-// and live-node sets IN THEIR DENSE ORDER (both orders are observable
-// through uniform index draws and items() iteration), the overlay
-// adjacency in its dense vertex order (random_vertex indexes it), the
-// system RNG's raw 256-bit state, the batch/step counters — and the
-// PlanCache's alias-sampler state (the stale Vose weights plus the dirty
-// overlay list), because draw_biased's rejection pattern is observable
-// through the per-op derived RNG streams. Everything else in the PlanCache
-// (dense index tables, neighborhood populations, flat offsets) is a pure
-// function of the restored state and is REBUILT on load, then
-// debug-asserted consistent_with(state).
+// on: the NowState slot tables and free lists, the membership slab's exact
+// geometry (per-slot extents + allocated tail — slab positions key the
+// commit's conflict footprints and the compaction trigger is a function of
+// tail and live mass, so layout must survive a round trip verbatim), the
+// node/cluster id counters, the node -> home map (rebuilt from
+// membership), the Byzantine and live-node sets IN THEIR DENSE ORDER (both
+// orders are observable through uniform index draws and items()
+// iteration), the overlay adjacency in its dense vertex order
+// (random_vertex indexes it), the system RNG's raw 256-bit state, the
+// batch/step counters — and the PlanCache's alias-sampler state (the stale
+// Vose weights plus the dirty overlay list), because draw_biased's
+// rejection pattern is observable through the per-op derived RNG streams.
+// Everything else in the PlanCache (dense index tables, neighborhood
+// populations) is a pure function of the restored state and is REBUILT on
+// load, then debug-asserted consistent_with(state).
 //
 // Restore-then-continue is bit-identical to the uninterrupted run for
 // every shard count and every ResolveMode (tests/core/snapshot_test.cpp).
@@ -27,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -44,9 +48,16 @@ class SnapshotError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// Current format version of NowSystem snapshots (bump on any layout
-/// change; loaders reject other versions rather than misparse).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// Current format version of NowSystem snapshots. Bump rules (DESIGN.md
+/// §9): bump on ANY payload layout change — loaders reject other versions
+/// rather than misparse, and no cross-version migration is attempted. A
+/// bump here also obligates bumping sim/trace.hpp's checkpoint version
+/// (checkpoints embed a save_system payload); the trace format itself
+/// (header + events, no embedded state) is unaffected.
+///   v1 — per-cluster member lists, no slab geometry.
+///   v2 — membership slab: explicit tail + per-slot extent (first/cap/size)
+///        + bulk little-endian member block per live slot.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Little-endian binary writer over an in-memory buffer. write_file frames
 /// the buffer with magic + version + checksum.
@@ -68,6 +79,12 @@ class SnapshotWriter {
   void str(std::string_view s) {
     u64(s.size());
     buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+  /// Raw byte blob (the membership slab's bulk member write). The caller
+  /// owns the layout and must keep it little-endian fixed-width.
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
@@ -119,6 +136,12 @@ class SnapshotReader {
   }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
+  /// Raw byte blob (bounds-checked); counterpart of SnapshotWriter::bytes.
+  void bytes(void* out, std::size_t size) {
+    need(size);
+    std::memcpy(out, payload_.data() + pos_, size);
+    pos_ += size;
+  }
   std::string str() {
     const std::uint64_t n = u64();
     need(n);
@@ -142,6 +165,12 @@ class SnapshotReader {
   }
 
   [[nodiscard]] bool at_end() const { return pos_ == payload_.size(); }
+
+  /// Payload bytes not yet consumed (plausibility bounds on size fields
+  /// that precede variable-size data, e.g. the slab tail).
+  [[nodiscard]] std::uint64_t remaining() const {
+    return payload_.size() - pos_;
+  }
 
  private:
   void need(std::uint64_t bytes) const {

@@ -8,11 +8,18 @@
 // cluster majority rule) and (b) by invariant checks and experiment metrics,
 // mirroring the role of the adversary's full knowledge in the paper's model.
 //
-// Storage layout (the flat-state refactor): every container on the
-// join/leave/exchange hot path is O(1) or O(log k) amortized.
+// Storage layout (the flat-state refactor + the membership slab): every
+// container on the join/leave/exchange hot path is O(1) or O(log k)
+// amortized.
 //   * clusters — a slot table (vector + free list) addressed through a paged
 //     ClusterId -> slot index, with a dense list of live ids for O(1)
 //     uniform sampling;
+//   * member lists — ONE flat NodeId pool (cluster/member_slab.hpp) carved
+//     into per-slot extents with amortized headroom; each Cluster is a thin
+//     view over its extent, so stage-1 member-edit workers stream
+//     sequential memory instead of chasing k separate vectors. The slab
+//     lives behind a unique_ptr so the Cluster views' slab pointer survives
+//     NowState moves;
 //   * cluster sizes — mirrored in a Fenwick tree over slots, making the
 //     size-biased draw (randCl's limit law) O(log k) instead of O(k);
 //   * node_home / the live-node registry — paged arrays keyed by the
@@ -24,16 +31,19 @@
 //   * corrupt_home_for_test, for invariant tests that need to break the
 //     bookkeeping on purpose;
 //   * the parallel-commit primitives (apply_member_edits / commit_home /
-//     apply_size_deltas / adjust_placed_count), the stage-1/stage-2 split of
-//     the sharded batch commit (DESIGN.md §7): member-vector edits and
-//     node_home writes happen shard-parallel against disjoint slots, the
-//     Fenwick mirror and the placed-node count are reconciled afterwards in
-//     one sequential merge. Their contracts spell out exactly which shared
+//     commit_spilled_members / apply_size_deltas / adjust_placed_count),
+//     the stage-1/stage-2 split of the sharded batch commit (DESIGN.md §7):
+//     member-extent edits and node_home writes happen shard-parallel
+//     against disjoint slots, slots whose merged membership outgrew their
+//     extent are spilled to a sequential stage-2 commit, and the Fenwick
+//     mirror and the placed-node count are reconciled afterwards in one
+//     sequential merge. Their contracts spell out exactly which shared
 //     structure each one may touch.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -41,6 +51,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/member_slab.hpp"
 #include "common/fenwick.hpp"
 #include "common/node_set.hpp"
 #include "common/paged_index.hpp"
@@ -58,6 +69,7 @@ class NowState {
   explicit NowState(const over::OverParams& over_params)
       : overlay(over_params),
         cluster_slot_(kNoSlot),
+        slab_(std::make_unique<cluster::MemberSlab>()),
         node_home_(ClusterId::invalid()) {}
 
   /// The OVER overlay (vertices are the live ClusterIds).
@@ -79,10 +91,12 @@ class NowState {
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
       free_slots_.pop_back();
-      slots_[slot].emplace(id);
+      slab_->acquire_slot(slot);
+      slots_[slot].emplace(id, *slab_, slot);
     } else {
       slot = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back(std::in_place, id);
+      slab_->acquire_slot(slot);
+      slots_.emplace_back(std::in_place, id, *slab_, slot);
       live_pos_.push_back(0);
       if (sizes_.size() < slots_.size()) {
         sizes_.resize(std::max<std::size_t>(16, 2 * slots_.size()));
@@ -105,6 +119,7 @@ class NowState {
     live_ids_[at] = moved;
     live_pos_[slot_of(moved)] = at;
     live_ids_.pop_back();
+    slab_->release_slot(slot);
     slots_[slot].reset();
     cluster_slot_.unset(id.value());
     free_slots_.push_back(slot);
@@ -133,6 +148,13 @@ class NowState {
   /// value is only meaningful while the cluster is alive.
   [[nodiscard]] std::size_t slot_index(ClusterId id) const {
     return slot_of(id);
+  }
+
+  /// The shared membership arena (read-only). The batch commit keys its
+  /// conflict footprints on slab positions (first(slot) + member index) and
+  /// sizes its footprint array to tail().
+  [[nodiscard]] const cluster::MemberSlab& member_slab() const {
+    return *slab_;
   }
 
   // ------------------------------------------------------------- membership
@@ -191,18 +213,22 @@ class NowState {
   // disjoint nodes), the footprint-flagged remainder replays sequentially
   // (commit_home / clear_home keep node_home current as it goes), then
   // stage 1 partitions the touched cluster slots into contiguous blocks and
-  // lets each shard apply its clusters' member edits concurrently. These
-  // primitives deliberately do NOT maintain the Fenwick size mirror or the
-  // placed-node count — each shard accumulates signed size deltas privately
-  // and stage 2 folds them back in sequentially. Between the resolve pass
-  // and the matching apply_size_deltas/adjust_placed_count calls, the
-  // size-dependent samplers (random_cluster_size_biased, num_nodes) and the
-  // member vectors are out of sync with node_home and must not be
-  // consulted.
+  // lets each shard apply its clusters' member edits concurrently — writing
+  // each slot's merged membership in place into its slab extent, or
+  // spilling the slot when the merge outgrew the extent's cap (the spill
+  // set depends only on canonical per-slot edits and extent caps, so it is
+  // shard-independent). These primitives deliberately do NOT maintain the
+  // Fenwick size mirror or the placed-node count — each shard accumulates
+  // signed size deltas privately and stage 2 first re-homes the spilled
+  // slots (commit_spilled_members, ascending slot order), then folds the
+  // deltas back in sequentially. Between the resolve pass and the matching
+  // apply_size_deltas/adjust_placed_count calls, the size-dependent
+  // samplers (random_cluster_size_biased, num_nodes) and the member extents
+  // are out of sync with node_home and must not be consulted.
 
   /// One ordered membership edit of a cluster slot: add (true) or remove
   /// (false) `node`. Per-slot edit sequences are built sequentially in
-  /// canonical batch order, so the member vector's final layout is
+  /// canonical batch order, so the member extent's final layout is
   /// independent of how slots are distributed over shards.
   struct MemberEdit {
     NodeId node;
@@ -210,22 +236,28 @@ class NowState {
   };
 
   /// Reusable buffers of one stage-1 worker (capacities persist across
-  /// apply_member_edits calls; contents are ignored on entry).
+  /// apply_member_edits calls; contents are ignored on entry). `spills`
+  /// collects the slots whose merged membership did not fit their extent —
+  /// the caller commits them sequentially in stage 2 and clears the list.
   struct EditScratch {
     std::vector<NodeId> adds;
     std::vector<NodeId> removes;
     std::vector<NodeId> merge;
+    std::vector<std::pair<std::size_t, std::vector<NodeId>>> spills;
   };
 
   /// Applies `edits` to the cluster in `slot` and returns the net size
-  /// delta. The member vector is sorted, so the final layout depends only
+  /// delta. The member extent is sorted, so the final content depends only
   /// on the net effect, not the edit order: the edits are netted (a node
-  /// added and removed within the batch cancels) and spliced in one
-  /// O(|members| + |edits|) merge pass instead of one O(|members|) insert
-  /// or erase per edit. Touches ONLY that slot's member vector — safe to
-  /// call concurrently for distinct slots with per-worker scratch. The
-  /// Fenwick mirror and placed_count are intentionally left stale (see
-  /// above).
+  /// added and removed within the batch cancels) and merged directly inside
+  /// the slot's extent via MemberSlab::try_apply_edits — one
+  /// O(|members| + |edits|) in-place pass touching ONLY that slot's extent,
+  /// so the call is safe to run concurrently for distinct slots with
+  /// per-worker scratch. When the merge outgrew the extent, the merged run
+  /// is built in scratch and the slot parked on scratch.spills for the
+  /// sequential stage-2 commit instead (the returned delta already accounts
+  /// for it). The Fenwick mirror and placed_count are intentionally left
+  /// stale (see above).
   std::int64_t apply_member_edits(std::size_t slot,
                                   std::span<const MemberEdit> edits,
                                   EditScratch& scratch) {
@@ -262,10 +294,28 @@ class NowState {
     }
     scratch.adds.resize(a_out);
     scratch.removes.resize(r_out);
-    slots_[slot]->apply_sorted_edits(scratch.removes, scratch.adds,
-                                     scratch.merge);
+    if (!slab_->try_apply_edits(slot, scratch.removes, scratch.adds)) {
+      cluster::merge_sorted_edits(slots_[slot]->members(), scratch.removes,
+                                  scratch.adds, scratch.merge);
+      scratch.spills.emplace_back(slot, scratch.merge);
+    }
     return delta;
   }
+
+  /// Stage 2 (sequential): re-homes a stage-1 spilled slot into a fresh
+  /// tail extent. Callers commit spills in ascending slot order so the tail
+  /// allocation sequence — and hence the slab layout — is canonical. Must
+  /// run before apply_size_deltas (which checks sizes against the extents).
+  void commit_spilled_members(std::size_t slot,
+                              std::span<const NodeId> members) {
+    assert(slot < slots_.size() && slots_[slot].has_value());
+    slab_->assign(slot, members);
+  }
+
+  /// Stage 2 (sequential): gives the slab a compaction opportunity at the
+  /// batch boundary, so dead space from relocations is bounded even when a
+  /// batch triggers no sequential slab mutation of its own.
+  void maybe_compact_slab() { slab_->maybe_compact(); }
 
   /// Writes a node's home as the resolve decides its move — node_home
   /// doubles as the commit's within-batch home map, so no separate scratch
@@ -384,11 +434,12 @@ class NowState {
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
-  /// Snapshot serialization (core/snapshot.cpp): the slot table, the free
-  /// list and every dense order (live_ids_, live_, byzantine) are
-  /// observable through sampling, so they are written and reconstructed
-  /// verbatim; the derived containers (cluster_slot_, node_home_, sizes_,
-  /// live_pos_, placed_count_) are rebuilt from them.
+  /// Snapshot serialization (core/snapshot.cpp): the slot table, the slab
+  /// geometry (extents + tail — compaction triggers are a function of it),
+  /// the free list and every dense order (live_ids_, live_, byzantine) are
+  /// observable through sampling or slab positions, so they are written and
+  /// reconstructed verbatim; the derived containers (cluster_slot_,
+  /// node_home_, sizes_, live_pos_, placed_count_) are rebuilt from them.
   friend void snapshot_save_state(const NowState& state,
                                   SnapshotWriter& writer);
   friend void snapshot_load_state(NowState& state, SnapshotReader& reader);
@@ -405,13 +456,16 @@ class NowState {
   ClusterId::value_type next_cluster_id_ = 0;
 
   // Slot table for clusters; sizes_ mirrors each slot's |C| for the biased
-  // draw. slots_ and live_pos_ are parallel (sizes_ over-allocates).
+  // draw. slots_ and live_pos_ are parallel (sizes_ over-allocates). The
+  // slab holds every slot's member extent; it sits behind a unique_ptr so
+  // the Cluster views' raw slab pointers survive NowState moves.
   std::vector<std::optional<cluster::Cluster>> slots_;
   std::vector<std::uint32_t> live_pos_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<ClusterId> live_ids_;
   PagedIndex<std::uint32_t> cluster_slot_;
   FenwickTree sizes_;
+  std::unique_ptr<cluster::MemberSlab> slab_;
 
   PagedIndex<ClusterId> node_home_;
   std::size_t placed_count_ = 0;

@@ -28,9 +28,14 @@ std::size_t pick_forced_leave_victims(const core::NowSystem& system,
   ClusterId smallest = ClusterId::invalid();
   double worst_fraction = -1.0;
   std::size_t smallest_size = static_cast<std::size_t>(-1);
+  // One sorted Byzantine copy for the whole sweep (streams slab extents —
+  // see cluster.hpp's sorted-span byzantine_fraction overload).
+  std::vector<NodeId> sorted_byz(state.byzantine.begin(),
+                                 state.byzantine.end());
+  std::sort(sorted_byz.begin(), sorted_byz.end());
   for (const ClusterId c : state.cluster_ids()) {
     const auto& cl = state.cluster_at(c);
-    const double p = cluster::byzantine_fraction(cl, state.byzantine);
+    const double p = cluster::byzantine_fraction(cl, sorted_byz);
     if (p > worst_fraction) {
       worst_fraction = p;
       worst = c;
@@ -82,12 +87,16 @@ std::size_t run_adversarial_batch(const ScenarioConfig& config,
       system, std::min(config.batch_leave_quota, ops), victims);
   if (config.batch_placement == BatchPlacement::kTargeted &&
       state.byzantine_total() > 0 && system.num_clusters() > 1) {
-    // Full knowledge: target the cluster that is already worst.
+    // Full knowledge: target the cluster that is already worst. Sorted
+    // Byzantine copy once, extent-streaming counts per cluster.
     ClusterId target = ClusterId::invalid();
     double worst = -1.0;
+    std::vector<NodeId> sorted_byz(state.byzantine.begin(),
+                                   state.byzantine.end());
+    std::sort(sorted_byz.begin(), sorted_byz.end());
     for (const ClusterId c : state.cluster_ids()) {
       const double p =
-          cluster::byzantine_fraction(state.cluster_at(c), state.byzantine);
+          cluster::byzantine_fraction(state.cluster_at(c), sorted_byz);
       if (p > worst) {
         worst = p;
         target = c;

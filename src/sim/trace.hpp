@@ -35,8 +35,11 @@
 
 namespace now::sim {
 
+// Traces carry only a header + the event stream (no embedded system
+// state), so the snapshot v2 slab format did not touch them. Checkpoints
+// embed a save_system payload and follow every snapshot version bump.
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Records a scenario into an in-memory trace; run_scenario drives it
 /// (attach as the system's TraceSink, call begin_step/record_sample, then

@@ -5,8 +5,22 @@
 namespace now::cluster {
 namespace {
 
-TEST(ClusterTest, MembershipBasics) {
-  Cluster c{ClusterId{1}};
+/// A Cluster is a thin view over a MemberSlab extent; the fixture owns the
+/// slab and hands out slab-backed clusters on sequential slots.
+class ClusterTest : public ::testing::Test {
+ protected:
+  Cluster make(ClusterId id) {
+    const std::size_t slot = next_slot_++;
+    slab_.acquire_slot(slot);
+    return Cluster{id, slab_, slot};
+  }
+
+  MemberSlab slab_;
+  std::size_t next_slot_ = 0;
+};
+
+TEST_F(ClusterTest, MembershipBasics) {
+  Cluster c = make(ClusterId{1});
   EXPECT_EQ(c.id(), ClusterId{1});
   EXPECT_EQ(c.size(), 0u);
   c.add_member(NodeId{5});
@@ -20,34 +34,73 @@ TEST(ClusterTest, MembershipBasics) {
   EXPECT_EQ(c.size(), 2u);
 }
 
-TEST(ClusterTest, MembersStaySorted) {
-  Cluster c{ClusterId{2}};
+TEST_F(ClusterTest, MembersStaySorted) {
+  Cluster c = make(ClusterId{2});
   for (const auto v : {9, 1, 5, 3, 7}) c.add_member(NodeId{
       static_cast<std::uint64_t>(v)});
-  const auto& members = c.members();
+  const auto members = c.members();
   EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
   EXPECT_EQ(c.member_at(0), NodeId{1});
   EXPECT_EQ(c.member_at(4), NodeId{9});
 }
 
-TEST(ClusterTest, RandomMemberIsAMember) {
-  Cluster c{ClusterId{3}};
+TEST_F(ClusterTest, RandomMemberIsAMember) {
+  Cluster c = make(ClusterId{3});
   for (std::uint64_t v = 0; v < 10; ++v) c.add_member(NodeId{v});
   Rng rng{1};
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(c.contains(c.random_member(rng)));
 }
 
-TEST(ClusterTest, ByzantineCounting) {
-  Cluster c{ClusterId{4}};
+TEST_F(ClusterTest, ByzantineCounting) {
+  Cluster c = make(ClusterId{4});
   for (std::uint64_t v = 0; v < 9; ++v) c.add_member(NodeId{v});
   NodeSet byz{NodeId{0}, NodeId{4}, NodeId{8}, NodeId{100}};
   EXPECT_EQ(byzantine_count(c, byz), 3u);  // 100 is not a member
   EXPECT_DOUBLE_EQ(byzantine_fraction(c, byz), 1.0 / 3.0);
+  // The sorted-span overload streams the extent and must agree.
+  const std::vector<NodeId> sorted_byz{NodeId{0}, NodeId{4}, NodeId{8},
+                                       NodeId{100}};
+  EXPECT_EQ(byzantine_count(c, sorted_byz), 3u);
+  EXPECT_DOUBLE_EQ(byzantine_fraction(c, sorted_byz), 1.0 / 3.0);
 }
 
-TEST(ClusterTest, ByzantineFractionOfEmptyClusterIsZero) {
-  Cluster c{ClusterId{5}};
+TEST_F(ClusterTest, ByzantineFractionOfEmptyClusterIsZero) {
+  Cluster c = make(ClusterId{5});
   EXPECT_DOUBLE_EQ(byzantine_fraction(c, {NodeId{1}}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      byzantine_fraction(c, std::vector<NodeId>{NodeId{1}}), 0.0);
+}
+
+TEST_F(ClusterTest, ApplySortedEditsMergesInOnePass) {
+  Cluster c = make(ClusterId{6});
+  for (std::uint64_t v = 0; v < 10; v += 2) c.add_member(NodeId{v});  // 0..8
+  std::vector<NodeId> scratch;
+  const std::vector<NodeId> removals{NodeId{2}, NodeId{6}};
+  const std::vector<NodeId> additions{NodeId{1}, NodeId{9}};
+  c.apply_sorted_edits(removals, additions, scratch);
+  const std::vector<NodeId> expect{NodeId{0}, NodeId{1}, NodeId{4},
+                                   NodeId{8}, NodeId{9}};
+  const auto members = c.members();
+  ASSERT_EQ(members.size(), expect.size());
+  EXPECT_TRUE(std::equal(members.begin(), members.end(), expect.begin()));
+}
+
+TEST_F(ClusterTest, StaleRemovalListThrowsInsteadOfCorrupting) {
+  Cluster c = make(ClusterId{7});
+  c.add_member(NodeId{1});
+  std::vector<NodeId> scratch;
+  // More removals than members: the old code's reserve arithmetic wrapped
+  // in release builds; now it must throw.
+  const std::vector<NodeId> too_many{NodeId{1}, NodeId{2}, NodeId{3}};
+  EXPECT_THROW(c.apply_sorted_edits(too_many, {}, scratch),
+               std::invalid_argument);
+  // A removal naming a non-member (same lengths) must also throw.
+  const std::vector<NodeId> stale{NodeId{2}};
+  EXPECT_THROW(c.apply_sorted_edits(stale, {}, scratch),
+               std::invalid_argument);
+  // The membership survived both rejected edits.
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(NodeId{1}));
 }
 
 }  // namespace

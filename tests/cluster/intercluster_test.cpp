@@ -7,11 +7,20 @@
 namespace now::cluster {
 namespace {
 
-Cluster make_cluster(ClusterId id, std::uint64_t first, std::size_t n) {
-  Cluster c{id};
-  for (std::uint64_t i = 0; i < n; ++i) c.add_member(NodeId{first + i});
-  return c;
-}
+/// Owns the MemberSlab the test clusters view; must outlive the Clusters it
+/// hands out.
+struct TestArena {
+  MemberSlab slab;
+  std::size_t next_slot = 0;
+
+  Cluster make(ClusterId id, std::uint64_t first, std::size_t n) {
+    const std::size_t slot = next_slot++;
+    slab.acquire_slot(slot);
+    Cluster c{id, slab, slot};
+    for (std::uint64_t i = 0; i < n; ++i) c.add_member(NodeId{first + i});
+    return c;
+  }
+};
 
 TEST(InterclusterTest, CostIsProductOfSizesTimesUnits) {
   const auto cost = cluster_send_cost(5, 7, 3);
@@ -21,8 +30,9 @@ TEST(InterclusterTest, CostIsProductOfSizesTimesUnits) {
 
 TEST(InterclusterTest, HonestMajorityIsAccepted) {
   Metrics metrics;
-  const auto from = make_cluster(ClusterId{1}, 0, 9);
-  const auto to = make_cluster(ClusterId{2}, 100, 9);
+  TestArena arena;
+  const auto from = arena.make(ClusterId{1}, 0, 9);
+  const auto to = arena.make(ClusterId{2}, 100, 9);
   const NodeSet byz{NodeId{0}, NodeId{1}, NodeId{2}};  // 3 of 9
   const auto outcome = cluster_send(from, to, 2, byz, metrics);
   EXPECT_TRUE(outcome.accepted);
@@ -34,8 +44,9 @@ TEST(InterclusterTest, HonestMajorityIsAccepted) {
 
 TEST(InterclusterTest, MinorityHonestIsRejected) {
   Metrics metrics;
-  const auto from = make_cluster(ClusterId{1}, 0, 8);
-  const auto to = make_cluster(ClusterId{2}, 100, 8);
+  TestArena arena;
+  const auto from = arena.make(ClusterId{1}, 0, 8);
+  const auto to = arena.make(ClusterId{2}, 100, 8);
   NodeSet byz;
   for (std::uint64_t i = 0; i < 4; ++i) byz.insert(NodeId{i});  // half
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
@@ -46,8 +57,9 @@ TEST(InterclusterTest, MinorityHonestIsRejected) {
 
 TEST(InterclusterTest, ByzantineMajorityCanForge) {
   Metrics metrics;
-  const auto from = make_cluster(ClusterId{1}, 0, 7);
-  const auto to = make_cluster(ClusterId{2}, 100, 7);
+  TestArena arena;
+  const auto from = arena.make(ClusterId{1}, 0, 7);
+  const auto to = arena.make(ClusterId{2}, 100, 7);
   NodeSet byz;
   for (std::uint64_t i = 0; i < 5; ++i) byz.insert(NodeId{i});
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
@@ -58,8 +70,9 @@ TEST(InterclusterTest, ByzantineMajorityCanForge) {
 TEST(InterclusterTest, ExactTwoThirdsHonestStillAccepted) {
   // The NOW invariant (> 2/3 honest) comfortably implies the > 1/2 rule.
   Metrics metrics;
-  const auto from = make_cluster(ClusterId{1}, 0, 9);
-  const auto to = make_cluster(ClusterId{2}, 100, 5);
+  TestArena arena;
+  const auto from = arena.make(ClusterId{1}, 0, 9);
+  const auto to = arena.make(ClusterId{2}, 100, 5);
   const NodeSet byz{NodeId{0}, NodeId{1}};  // 2 of 9 byz
   const auto outcome = cluster_send(from, to, 1, byz, metrics);
   EXPECT_TRUE(outcome.accepted);
@@ -77,8 +90,9 @@ TEST(InterclusterTest, CostOnlyChargeMatchesClusterSend) {
         {0, 5, 2}}) {
     Metrics full_metrics;
     Metrics charge_metrics;
-    const auto from = make_cluster(ClusterId{1}, 0, from_size);
-    const auto to = make_cluster(ClusterId{2}, 100, to_size);
+    TestArena arena;
+    const auto from = arena.make(ClusterId{1}, 0, from_size);
+    const auto to = arena.make(ClusterId{2}, 100, to_size);
     const auto outcome = cluster_send(from, to, units, {}, full_metrics);
     const std::uint64_t rounds =
         cluster_send_charge(from_size, to_size, units, charge_metrics);

@@ -238,7 +238,10 @@ TEST(NowTest, ExchangeReplacesMostMembers) {
   NowSystem system{small_params(), metrics, 15};
   system.initialize(400, 60);
   const ClusterId target = system.state().cluster_ids().front();
-  const auto before = system.state().cluster_at(target).members();
+  // Deep copy: members() is a span over the slab, and the exchange below
+  // mutates (and may relocate) the extent under it.
+  const auto before_view = system.state().cluster_at(target).members();
+  const std::vector<NodeId> before(before_view.begin(), before_view.end());
   system.exchange_all(target);
   const auto after = system.state().cluster_at(target).members();
   std::size_t stayed = 0;

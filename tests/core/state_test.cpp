@@ -53,7 +53,8 @@ NowState make_uneven_state() {
   }
   // Destroy the third cluster and replace it, exercising the free list.
   const ClusterId doomed = state.cluster_ids()[2];
-  const std::vector<NodeId> moving = state.cluster_at(doomed).members();
+  const auto moving_view = state.cluster_at(doomed).members();
+  const std::vector<NodeId> moving(moving_view.begin(), moving_view.end());
   const ClusterId refuge = state.cluster_ids()[0];
   for (const NodeId m : moving) state.move_node(m, doomed, refuge);
   state.destroy_cluster(doomed);
