@@ -1127,6 +1127,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
       std::sort(spilled.begin(), spilled.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
+      combined.stage2_spills = spilled.size();
       for (const auto& [slot, members] : spilled) {
         state_.commit_spilled_members(slot, *members);
       }

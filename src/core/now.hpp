@@ -85,6 +85,13 @@ struct OpReport {
   /// splits/merges; the membership moves themselves were charged while
   /// planning).
   Cost commit_cost;
+  /// Sharded batches only: slots whose stage-1 merged membership outgrew
+  /// their slab extent and were re-homed by the sequential stage-2 commit
+  /// (MemberSlab::try_apply_edits returned false). Shard-independent — the
+  /// spill set depends only on the canonical per-slot edits and the extent
+  /// caps. The coverage-guided corpus (sim/corpus.hpp) treats "a spill
+  /// happened" as an observed-behavior bit.
+  std::size_t stage2_spills = 0;
   /// Sharded batches only: exchange waves the wave scheduler ran this step
   /// (primary waves on clusters touched by an operation, plus the deduped
   /// secondary waves on their leave-wave partners). Each touched cluster

@@ -172,6 +172,20 @@ class SnapshotReader {
     return payload_.size() - pos_;
   }
 
+  // Random access within the payload — the seekable-trace machinery
+  // (sim/trace.hpp v2): a trace footer records byte offsets of embedded
+  // checkpoint frames and replay jumps straight to one. Offsets are
+  // validated here so a corrupt footer fails as SnapshotError, never as an
+  // out-of-range read.
+  [[nodiscard]] std::uint64_t pos() const { return pos_; }
+  [[nodiscard]] std::uint64_t size() const { return payload_.size(); }
+  void seek(std::uint64_t pos) {
+    if (pos > payload_.size()) {
+      throw SnapshotError("seek offset past end of payload");
+    }
+    pos_ = static_cast<std::size_t>(pos);
+  }
+
  private:
   void need(std::uint64_t bytes) const {
     // pos_ <= size always holds, so the subtraction cannot underflow and

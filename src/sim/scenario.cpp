@@ -59,6 +59,16 @@ std::size_t pick_forced_leave_victims(const core::NowSystem& system,
   return victims.size() - before;
 }
 
+/// What one adversarial batch step did, beyond the state change: the
+/// forced-leave count, whether the global corruption budget clipped the
+/// requested volume, and the engine's OpReport (resolve replays / spills
+/// feed the coverage signature).
+struct BatchOutcome {
+  std::size_t forced = 0;
+  bool budget_saturated = false;
+  core::OpReport report;
+};
+
 /// One time step of the batched adversary: corrupt a batch_byz_fraction of
 /// the joiners (within the static adversary's global budget tau * n),
 /// force up to batch_leave_quota leave victims out of the worst/smallest
@@ -66,25 +76,27 @@ std::size_t pick_forced_leave_victims(const core::NowSystem& system,
 /// own misplaced nodes — Byzantine nodes outside the currently
 /// most-corrupted cluster leave so their replacements can re-roll the
 /// placement walk, the batched form of Section 3.3's join-leave attack.
-/// Returns the number of forced-leave victims this step.
-std::size_t run_adversarial_batch(const ScenarioConfig& config,
-                                  const adversary::Adversary& adversary,
-                                  core::NowSystem& system, std::size_t ops,
-                                  Rng& rng) {
+BatchOutcome run_adversarial_batch(const ScenarioConfig& config,
+                                   const adversary::Adversary& adversary,
+                                   core::NowSystem& system, std::size_t ops,
+                                   Rng& rng) {
   const auto& state = system.state();
   const double budget =
       adversary.tau() * static_cast<double>(system.num_nodes() + ops);
   const std::size_t budget_left = static_cast<std::size_t>(std::max(
       0.0, std::floor(budget) -
                static_cast<double>(state.byzantine_total())));
-  const std::size_t byz_joins =
-      std::min({ops, budget_left,
-                static_cast<std::size_t>(std::floor(
-                    config.batch_byz_fraction * static_cast<double>(ops)))});
+  const auto requested = static_cast<std::size_t>(
+      std::floor(config.batch_byz_fraction * static_cast<double>(ops)));
+  const std::size_t byz_joins = std::min({ops, budget_left, requested});
+
+  BatchOutcome outcome;
+  outcome.budget_saturated = requested > 0 && byz_joins < requested;
 
   std::vector<NodeId> victims;
-  const std::size_t forced = pick_forced_leave_victims(
+  outcome.forced = pick_forced_leave_victims(
       system, std::min(config.batch_leave_quota, ops), victims);
+  const std::size_t forced = outcome.forced;
   if (config.batch_placement == BatchPlacement::kTargeted &&
       state.byzantine_total() > 0 && system.num_clusters() > 1) {
     // Full knowledge: target the cluster that is already worst. Sorted
@@ -142,8 +154,10 @@ std::size_t run_adversarial_batch(const ScenarioConfig& config,
       }
     }
   }
-  system.step_parallel_mixed(ops, byz_joins, victims, config.shards);
-  return forced;
+  outcome.report =
+      system.step_parallel_mixed(ops, byz_joins, victims, config.shards)
+          .second;
+  return outcome;
 }
 
 }  // namespace
@@ -225,6 +239,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     result.final_nodes = system.num_nodes();
     result.final_clusters = system.num_clusters();
     result.final_byzantine = system.state().byzantine_total();
+    result.total_compactions = system.state().member_slab().compaction_count();
   };
   const auto checkpoint_now = [&](std::size_t step) {
     save_scenario_checkpoint(
@@ -233,6 +248,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
         merges_offset + metrics.operation_count("merge") - merges_at_entry,
         config.checkpoint_path);
   };
+
+  // Trace-v2 embedded-checkpoint cadence: auto mode targets ~8 checkpoints
+  // across the horizon so bisection cost stays O(log steps) without
+  // ballooning short traces.
+  const std::size_t trace_ckpt_every =
+      config.trace_checkpoint_every > 0
+          ? config.trace_checkpoint_every
+          : std::max<std::size_t>(8, config.steps / 8);
 
   if (start_step == 0) sample_now(0);
   for (std::size_t t = start_step + 1; t <= config.steps; ++t) {
@@ -244,21 +267,39 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
           config.batch_ops,
           system.num_nodes() > 2 ? system.num_nodes() - 2 : 0);
       if (config.batch_byz_fraction > 0.0 || config.batch_leave_quota > 0) {
-        const std::size_t forced =
+        const BatchOutcome outcome =
             run_adversarial_batch(config, adversary, system, ops, driver_rng);
-        result.total_forced_leaves += forced;
+        result.total_forced_leaves += outcome.forced;
         result.max_step_forced_leaves =
-            std::max(result.max_step_forced_leaves, forced);
+            std::max(result.max_step_forced_leaves, outcome.forced);
+        result.total_resolve_replays += outcome.report.resolve_replays;
+        result.total_stage2_spills += outcome.report.stage2_spills;
+        if (outcome.budget_saturated) ++result.budget_saturated_steps;
       } else {
         const std::vector<NodeId> victims =
             system.state().sample_distinct_nodes(driver_rng, ops);
-        system.step_parallel(ops, victims,
-                             /*byzantine_joiners=*/false, config.shards);
+        const auto report =
+            system
+                .step_parallel(ops, victims,
+                               /*byzantine_joiners=*/false, config.shards)
+                .second;
+        result.total_resolve_replays += report.resolve_replays;
+        result.total_stage2_spills += report.stage2_spills;
       }
     } else {
       adversary.step(system, t, driver_rng);
     }
     if (t % config.sample_every == 0 || t == config.steps) sample_now(t);
+    if (recorder != nullptr && config.trace_format == 0 &&
+        t % trace_ckpt_every == 0 && t != config.steps) {
+      // Embed a full system snapshot plus the run's partial aggregates, so
+      // a replay seeked here can reproduce the end summary exactly.
+      recorder->record_checkpoint(
+          t, system,
+          splits_offset + metrics.operation_count("split") - splits_at_entry,
+          merges_offset + metrics.operation_count("merge") - merges_at_entry,
+          result);
+    }
     if (!config.checkpoint_path.empty()) {
       if (config.halt_at == t) {
         // Checkpoint-and-stop: the partial result reports the state at the

@@ -86,6 +86,16 @@ struct ScenarioConfig {
   /// sample to this file. Ignored on resumed runs (a trace must cover the
   /// whole run to be replayable).
   std::string trace_path;
+  /// Trace v2 embedded-checkpoint cadence: every this many steps the
+  /// recorder embeds a full system snapshot into the trace, giving replay
+  /// O(log steps) divergence bisection (trace_checkpoints / bisect_trace).
+  /// 0 picks an automatic cadence (~8 checkpoints across the horizon).
+  std::size_t trace_checkpoint_every = 0;
+  /// Trace format to record: 0 = current (v2, seekable), 1 = legacy v1
+  /// (header + events only, no embedded checkpoints, no footer). The v1
+  /// writer exists so backward-compat coverage — old traces must keep
+  /// replaying green — is itself a recorded, regenerable artifact.
+  std::uint32_t trace_format = 0;
 };
 
 struct InvariantSample {
@@ -127,6 +137,23 @@ struct ScenarioResult {
   /// When ScenarioConfig::halt_at fired, the step the run checkpointed and
   /// stopped at; 0 means the run completed its full horizon.
   std::size_t halted_at_step = 0;
+
+  // Observed-behavior counters feeding the coverage-guided corpus's
+  // signature bits (sim/corpus.hpp). Deliberately NOT part of the trace
+  // summary frame (sim/trace.cpp write_summary) — they describe which
+  // engine paths a run exercised, not the trajectory itself, and adding
+  // them there would break the v1 trace layout.
+  /// Swaps the optimistic resolve handed to the sequential conflict
+  /// replay, summed over the run's sharded batches.
+  std::size_t total_resolve_replays = 0;
+  /// Stage-1 slots spilled to the sequential stage-2 commit, summed over
+  /// the run's sharded batches.
+  std::size_t total_stage2_spills = 0;
+  /// Membership-slab compactions triggered during the run.
+  std::size_t total_compactions = 0;
+  /// Steps where the static adversary's global budget tau * n clipped the
+  /// requested batch_byz_fraction corruption volume.
+  std::size_t budget_saturated_steps = 0;
 };
 
 /// Runs the scenario. The same Metrics records every operation, so callers

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -10,7 +12,9 @@ namespace {
 constexpr char kTraceMagic[] = "NOWTRAC1";
 constexpr char kCheckpointMagic[] = "NOWCKPT1";
 
-/// Trace frame tags.
+/// Trace frame tags. v1 defined 1..6; v2 appends kFrameCheckpoint. The
+/// footer is NOT a frame — it lives after the end frame and is located
+/// via the trailing offset word, never by sequential scan.
 enum Frame : std::uint8_t {
   kFrameStep = 1,
   kFrameJoin = 2,
@@ -18,7 +22,13 @@ enum Frame : std::uint8_t {
   kFrameBatch = 4,
   kFrameSample = 5,
   kFrameEnd = 6,
+  kFrameCheckpoint = 7,
 };
+
+/// Footer magic ("IDX2" little-endian) — a cheap tripwire: a trailing
+/// offset that lands anywhere but a real footer fails here instead of
+/// misparsing entries.
+constexpr std::uint32_t kFooterMagic = 0x32584449;
 
 void write_sample(core::SnapshotWriter& w, const InvariantSample& s) {
   w.u64(s.step);
@@ -46,6 +56,8 @@ InvariantSample read_sample(core::SnapshotReader& r) {
   return s;
 }
 
+// The summary layout is frozen across v1/v2 — the PR-6 behavior counters
+// on ScenarioResult are deliberately NOT serialized here.
 void write_summary(core::SnapshotWriter& w, const ScenarioResult& result) {
   w.f64(result.peak_byz_fraction);
   w.u8(result.ever_compromised ? 1 : 0);
@@ -124,12 +136,59 @@ TraceHeader read_header(core::SnapshotReader& r) {
   return h;
 }
 
+struct TraceFooter {
+  std::vector<TraceCheckpointInfo> checkpoints;
+  /// Payload byte offset of the footer itself — the event stream's end.
+  std::uint64_t offset = 0;
+};
+
+/// Locates and validates a v2 footer via the trailing offset word. Leaves
+/// the reader positioned right before that word; callers seek back.
+TraceFooter read_footer(core::SnapshotReader& r) {
+  if (r.size() < 8) {
+    throw core::SnapshotError("trace too short for a footer offset");
+  }
+  r.seek(r.size() - 8);
+  TraceFooter footer;
+  footer.offset = r.u64();
+  if (footer.offset > r.size() - 8) {
+    throw core::SnapshotError("trace footer offset past end of payload");
+  }
+  r.seek(footer.offset);
+  if (r.u32() != kFooterMagic) {
+    throw core::SnapshotError("trace footer magic mismatch (truncated or "
+                              "overwritten footer)");
+  }
+  const std::uint64_t count = r.count(16);
+  footer.checkpoints.reserve(count);
+  std::uint64_t prev_step = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceCheckpointInfo info;
+    info.step = r.u64();
+    info.offset = r.u64();
+    if (info.offset >= footer.offset) {
+      throw core::SnapshotError(
+          "trace checkpoint offset points past the event stream");
+    }
+    if (i > 0 && info.step <= prev_step) {
+      throw core::SnapshotError("trace footer steps not increasing");
+    }
+    prev_step = info.step;
+    footer.checkpoints.push_back(info);
+  }
+  if (r.pos() != r.size() - 8) {
+    throw core::SnapshotError("trace footer size mismatch");
+  }
+  return footer;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- recorder
 
 TraceRecorder::TraceRecorder(const ScenarioConfig& config, std::size_t n0,
-                             std::size_t byz0, std::string adversary_name) {
+                             std::size_t byz0, std::string adversary_name)
+    : format_version_(config.trace_format == 1 ? 1 : kTraceFormatVersion) {
   TraceHeader h;
   h.params = config.params;
   h.seed = config.seed;
@@ -179,30 +238,115 @@ void TraceRecorder::record_sample(const InvariantSample& sample) {
   write_sample(writer_, sample);
 }
 
+void TraceRecorder::record_checkpoint(std::size_t step,
+                                      const core::NowSystem& system,
+                                      std::size_t splits_so_far,
+                                      std::size_t merges_so_far,
+                                      const ScenarioResult& partial) {
+  if (format_version_ < 2) return;
+  core::SnapshotWriter snap;
+  core::save_system(system, snap);
+  checkpoints_.emplace_back(step, writer_.buffer().size());
+  writer_.u8(kFrameCheckpoint);
+  writer_.u64(step);
+  writer_.u64(splits_so_far);
+  writer_.u64(merges_so_far);
+  writer_.f64(partial.peak_byz_fraction);
+  writer_.u8(partial.ever_compromised ? 1 : 0);
+  writer_.u64(partial.first_compromise_step);
+  writer_.u64(snap.buffer().size());
+  writer_.bytes(snap.buffer().data(), snap.buffer().size());
+}
+
 void TraceRecorder::finish(const ScenarioResult& result,
                            const std::string& path) {
   writer_.u8(kFrameEnd);
   write_summary(writer_, result);
-  writer_.write_file(path, kTraceMagic, kTraceFormatVersion);
+  if (format_version_ >= 2) {
+    const std::uint64_t footer_offset = writer_.buffer().size();
+    writer_.u32(kFooterMagic);
+    writer_.u64(checkpoints_.size());
+    for (const auto& [step, offset] : checkpoints_) {
+      writer_.u64(step);
+      writer_.u64(offset);
+    }
+    writer_.u64(footer_offset);
+  }
+  writer_.write_file(path, kTraceMagic, format_version_);
 }
 
 // ------------------------------------------------------------- replayer
 
-TraceReplayResult replay_trace(const std::string& path) {
+TraceReplayResult replay_trace(const std::string& path,
+                               const ReplayOptions& opts) {
   core::SnapshotReader reader = core::SnapshotReader::read_file(
-      path, kTraceMagic, kTraceFormatVersion, kTraceFormatVersion);
+      path, kTraceMagic, kTraceMinReadVersion, kTraceFormatVersion);
+  const std::uint32_t version = reader.version();
   const TraceHeader header = read_header(reader);
+  const std::uint64_t header_end = reader.pos();
+
+  std::uint64_t body_end = reader.size();
+  std::vector<TraceCheckpointInfo> index;
+  if (version >= 2) {
+    const TraceFooter footer = read_footer(reader);
+    body_end = footer.offset;
+    index = footer.checkpoints;
+    reader.seek(header_end);
+  }
 
   TraceReplayResult replay;
   Metrics metrics;
-  core::NowSystem system{header.params, metrics, header.seed};
-  system.initialize(header.n0, header.byz0, header.topology);
+  core::NowParams params = header.params;
+  if (opts.override_resolve) params.resolve_mode = opts.resolve_mode;
+  core::NowSystem system{params, metrics, header.seed};
 
+  // Split/merge counts before the seek point (embedded in the restored
+  // checkpoint) — the replayed tail only adds to them.
+  std::size_t splits_base = 0;
+  std::size_t merges_base = 0;
   std::size_t current_step = 0;
+
+  if (opts.start_checkpoint == kReplayFromStart) {
+    system.initialize(header.n0, header.byz0, header.topology);
+  } else {
+    if (opts.start_checkpoint >= index.size()) {
+      throw core::SnapshotError(
+          "trace has no checkpoint #" +
+          std::to_string(opts.start_checkpoint) + ": " + path);
+    }
+    const TraceCheckpointInfo& ck = index[opts.start_checkpoint];
+    reader.seek(ck.offset);
+    if (reader.u8() != kFrameCheckpoint) {
+      throw core::SnapshotError(
+          "trace footer entry does not point at a checkpoint frame: " +
+          path);
+    }
+    const std::uint64_t step = reader.u64();
+    if (step != ck.step) {
+      throw core::SnapshotError("trace footer step disagrees with the "
+                                "checkpoint frame: " + path);
+    }
+    splits_base = reader.u64();
+    merges_base = reader.u64();
+    replay.result.peak_byz_fraction = reader.f64();
+    replay.result.ever_compromised = reader.u8() != 0;
+    replay.result.first_compromise_step = reader.u64();
+    const std::uint64_t snap_size = reader.count(1);
+    const std::uint64_t snap_end = reader.pos() + snap_size;
+    core::load_system(system, reader);
+    if (reader.pos() != snap_end) {
+      throw core::SnapshotError(
+          "embedded checkpoint snapshot size mismatch: " + path);
+    }
+    current_step = step;
+    replay.start_step = step;
+  }
+
   const auto mismatch = [&](const std::string& what) {
     if (replay.ok) {
       replay.ok = false;
       replay.error = "step " + std::to_string(current_step) + ": " + what;
+      replay.first_bad_step = current_step;
     }
   };
   const auto note_sample = [&](const InvariantSample& s) {
@@ -217,7 +361,7 @@ TraceReplayResult replay_trace(const std::string& path) {
 
   std::vector<NodeId> leaves;
   bool saw_end = false;
-  while (!reader.at_end() && replay.ok && !saw_end) {
+  while (reader.pos() < body_end && replay.ok && !saw_end) {
     switch (reader.u8()) {
       case kFrameStep:
         current_step = reader.u64();
@@ -261,7 +405,13 @@ TraceReplayResult replay_trace(const std::string& path) {
           mismatch("batch names an unplaced leave victim");
           break;
         }
-        system.step_parallel_mixed(joins, byz_joins, leaves, shards);
+        if (byz_joins > joins) {
+          mismatch("batch records more byzantine joins than joins");
+          break;
+        }
+        const std::size_t use_shards =
+            opts.shards_override > 0 ? opts.shards_override : shards;
+        system.step_parallel_mixed(joins, byz_joins, leaves, use_shards);
         break;
       }
       case kFrameSample: {
@@ -292,11 +442,46 @@ TraceReplayResult replay_trace(const std::string& path) {
         ++replay.samples_checked;
         break;
       }
+      case kFrameCheckpoint: {
+        current_step = reader.u64();
+        const std::uint64_t ck_splits = reader.u64();
+        const std::uint64_t ck_merges = reader.u64();
+        const double ck_peak = reader.f64();
+        const bool ck_ever = reader.u8() != 0;
+        const std::uint64_t ck_first = reader.u64();
+        const std::uint64_t snap_size = reader.count(1);
+        std::vector<std::uint8_t> embedded(snap_size);
+        reader.bytes(embedded.data(), embedded.size());
+        // Every checkpoint is an observation point: serialize the live
+        // state through the same writer and compare byte-for-byte. The
+        // snapshot payload is canonical (slab geometry, dense-set orders,
+        // RNG words), so equality here IS state identity.
+        core::SnapshotWriter live;
+        core::save_system(system, live);
+        if (live.buffer() != embedded) {
+          mismatch(
+              "live state diverged from the embedded checkpoint snapshot");
+          break;
+        }
+        if (splits_base + metrics.operation_count("split") != ck_splits ||
+            merges_base + metrics.operation_count("merge") != ck_merges ||
+            replay.result.peak_byz_fraction != ck_peak ||
+            replay.result.ever_compromised != ck_ever ||
+            replay.result.first_compromise_step != ck_first) {
+          mismatch("replay aggregates diverged from the embedded "
+                   "checkpoint");
+          break;
+        }
+        ++replay.checkpoints_checked;
+        break;
+      }
       case kFrameEnd: {
         const ScenarioResult recorded = read_summary(reader);
         saw_end = true;
-        replay.result.total_splits = metrics.operation_count("split");
-        replay.result.total_merges = metrics.operation_count("merge");
+        replay.result.total_splits =
+            splits_base + metrics.operation_count("split");
+        replay.result.total_merges =
+            merges_base + metrics.operation_count("merge");
         replay.result.final_nodes = system.num_nodes();
         replay.result.final_clusters = system.num_clusters();
         replay.result.final_byzantine = system.state().byzantine_total();
@@ -322,23 +507,275 @@ TraceReplayResult replay_trace(const std::string& path) {
   if (!saw_end && replay.ok) {
     mismatch("trace has no end-of-run summary frame");
   }
+  if (saw_end && version >= 2 && reader.pos() != body_end) {
+    throw core::SnapshotError(
+        "trailing bytes between end frame and footer: " + path);
+  }
   return replay;
+}
+
+std::vector<TraceCheckpointInfo> trace_checkpoints(const std::string& path) {
+  core::SnapshotReader reader = core::SnapshotReader::read_file(
+      path, kTraceMagic, kTraceMinReadVersion, kTraceFormatVersion);
+  if (reader.version() < 2) return {};
+  return read_footer(reader).checkpoints;
+}
+
+TraceInfo trace_info(const std::string& path) {
+  core::SnapshotReader reader = core::SnapshotReader::read_file(
+      path, kTraceMagic, kTraceMinReadVersion, kTraceFormatVersion);
+  const TraceHeader h = read_header(reader);
+  TraceInfo info;
+  info.version = reader.version();
+  info.seed = h.seed;
+  info.steps = h.steps;
+  info.sample_every = h.sample_every;
+  info.n0 = h.n0;
+  info.byz0 = h.byz0;
+  info.batch_ops = h.batch_ops;
+  info.shards = h.shards;
+  info.tau = h.params.tau;
+  info.adversary = h.adversary;
+  if (info.version >= 2) {
+    info.checkpoint_count = read_footer(reader).checkpoints.size();
+  }
+  return info;
+}
+
+// -------------------------------------------------------------- bisect
+
+TraceBisectResult bisect_trace(const std::string& path) {
+  TraceBisectResult out;
+  const std::vector<TraceCheckpointInfo> index = trace_checkpoints(path);
+  // Probe i: i == 0 replays from scratch (the anchor — no restore);
+  // i >= 1 restores checkpoint i-1 and replays the suffix.
+  const auto probe = [&](std::size_t i) {
+    ReplayOptions opts;
+    if (i > 0) {
+      opts.start_checkpoint = i - 1;
+      ++out.restores;
+    }
+    ++out.probes;
+    return replay_trace(path, opts);
+  };
+
+  const TraceReplayResult anchor = probe(0);
+  if (anchor.ok) return out;
+  out.diverged = true;
+  out.first_bad_step = anchor.first_bad_step;
+  out.error = anchor.error;
+
+  // Monotone predicate over start points: a clean probe byte-verifies the
+  // embedded snapshots after its start, pinning that whole suffix to the
+  // recorded trajectory — so clean-from-i implies clean-from-j for every
+  // j > i, and binary search is sound. lo always fails, hi is clean (the
+  // past-the-end sentinel: an empty suffix is vacuously clean).
+  std::size_t lo = 0;
+  std::size_t hi = index.size() + 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const TraceReplayResult r = probe(mid);
+    if (r.ok) {
+      hi = mid;
+    } else {
+      lo = mid;
+      out.first_bad_step = r.first_bad_step;
+      out.error = r.error;
+    }
+  }
+  out.fork_lower_bound = lo == 0 ? 0 : index[lo - 1].step;
+  return out;
+}
+
+// ------------------------------------------------------------ mutation
+
+namespace {
+
+std::uint64_t read_u64_at(const std::vector<std::uint8_t>& buf,
+                          std::size_t off) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+void write_u64_at(std::vector<std::uint8_t>& buf, std::size_t off,
+                  std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+struct FrameRef {
+  std::uint8_t tag = 0;
+  std::uint64_t offset = 0;  // payload offset of the tag byte
+  std::uint64_t step = 0;    // step the frame belongs to
+};
+
+/// Structural walk of the event stream (no system needed) — the mutation
+/// machinery's frame index. `reader` must be positioned after the header.
+std::vector<FrameRef> scan_frames(core::SnapshotReader& reader,
+                                  std::uint64_t body_end) {
+  std::vector<FrameRef> frames;
+  std::uint64_t step = 0;
+  bool saw_end = false;
+  while (reader.pos() < body_end && !saw_end) {
+    FrameRef ref;
+    ref.offset = reader.pos();
+    ref.tag = reader.u8();
+    switch (ref.tag) {
+      case kFrameStep:
+        step = reader.u64();
+        break;
+      case kFrameJoin:
+        reader.u64();
+        reader.u8();
+        break;
+      case kFrameLeave:
+        reader.u64();
+        break;
+      case kFrameBatch: {
+        reader.u64();
+        reader.u64();
+        reader.u64();
+        const std::uint64_t count = reader.count(8);
+        reader.seek(reader.pos() + count * 8);
+        break;
+      }
+      case kFrameSample:
+        (void)read_sample(reader);
+        break;
+      case kFrameCheckpoint: {
+        reader.u64();  // step
+        reader.u64();  // splits
+        reader.u64();  // merges
+        reader.f64();  // peak
+        reader.u8();   // ever_compromised
+        reader.u64();  // first_compromise_step
+        const std::uint64_t snap_size = reader.count(1);
+        reader.seek(reader.pos() + snap_size);
+        break;
+      }
+      case kFrameEnd:
+        (void)read_summary(reader);
+        saw_end = true;
+        break;
+      default:
+        throw core::SnapshotError("unknown trace frame tag during scan");
+    }
+    ref.step = step;
+    frames.push_back(ref);
+  }
+  return frames;
+}
+
+}  // namespace
+
+TraceMutation mutate_trace(const std::string& path,
+                           const std::string& out_path,
+                           TraceMutationKind kind, std::uint64_t pick) {
+  core::SnapshotReader reader = core::SnapshotReader::read_file(
+      path, kTraceMagic, kTraceMinReadVersion, kTraceFormatVersion);
+  const std::uint32_t version = reader.version();
+  std::vector<std::uint8_t> payload(reader.size());
+  reader.bytes(payload.data(), payload.size());
+
+  core::SnapshotReader scan{payload};
+  (void)read_header(scan);
+  std::uint64_t body_end = payload.size();
+  if (version >= 2) {
+    body_end = read_u64_at(payload, payload.size() - 8);
+  }
+  const std::vector<FrameRef> frames = scan_frames(scan, body_end);
+
+  std::vector<FrameRef> candidates;
+  for (const FrameRef& f : frames) {
+    switch (kind) {
+      case TraceMutationKind::kEventBit:
+        if (f.tag == kFrameJoin) candidates.push_back(f);
+        if (f.tag == kFrameBatch &&
+            read_u64_at(payload, f.offset + 1) > 0) {  // joins > 0
+          candidates.push_back(f);
+        }
+        break;
+      case TraceMutationKind::kSampleField:
+        if (f.tag == kFrameSample) candidates.push_back(f);
+        break;
+      case TraceMutationKind::kSummaryField:
+        if (f.tag == kFrameEnd) candidates.push_back(f);
+        break;
+    }
+  }
+  TraceMutation mutation;
+  if (candidates.empty()) return mutation;
+  const FrameRef target = candidates[pick % candidates.size()];
+  mutation.applied = true;
+  mutation.step = target.step;
+
+  std::ostringstream desc;
+  switch (kind) {
+    case TraceMutationKind::kEventBit: {
+      if (target.tag == kFrameJoin) {
+        // Flip the corruption bit (offset: tag + node id).
+        payload[target.offset + 1 + 8] ^= 1;
+        desc << "flipped join corruption bit at step " << target.step;
+      } else {
+        // Nudge byz_joins within [0, joins] (offsets: tag, joins,
+        // byz_joins).
+        const std::uint64_t joins = read_u64_at(payload, target.offset + 1);
+        const std::size_t byz_off = target.offset + 1 + 8;
+        const std::uint64_t byz = read_u64_at(payload, byz_off);
+        write_u64_at(payload, byz_off, byz > 0 ? byz - 1 : byz + 1);
+        desc << "changed batch byzantine joins " << byz << " -> "
+             << (byz > 0 ? byz - 1 : byz + 1) << " (of " << joins
+             << ") at step " << target.step;
+      }
+      break;
+    }
+    case TraceMutationKind::kSampleField: {
+      // Bump num_nodes (offsets: tag, step, num_nodes).
+      const std::size_t off = target.offset + 1 + 8;
+      write_u64_at(payload, off, read_u64_at(payload, off) + 1);
+      desc << "bumped sample num_nodes at step " << target.step;
+      break;
+    }
+    case TraceMutationKind::kSummaryField: {
+      // Bump final_nodes (offsets: tag, peak f64, ever u8,
+      // first_compromise, splits, merges).
+      const std::size_t off = target.offset + 1 + 8 + 1 + 8 + 8 + 8;
+      write_u64_at(payload, off, read_u64_at(payload, off) + 1);
+      desc << "bumped summary final_nodes (end frame at step "
+           << target.step << ")";
+      break;
+    }
+  }
+  mutation.description = desc.str();
+
+  core::SnapshotWriter w;
+  w.bytes(payload.data(), payload.size());
+  w.write_file(out_path, kTraceMagic, version);
+  return mutation;
 }
 
 std::string describe_trace(const std::string& path) {
   core::SnapshotReader reader = core::SnapshotReader::read_file(
-      path, kTraceMagic, kTraceFormatVersion, kTraceFormatVersion);
+      path, kTraceMagic, kTraceMinReadVersion, kTraceFormatVersion);
   const TraceHeader h = read_header(reader);
   std::ostringstream os;
-  os << "seed=" << h.seed << " steps=" << h.steps << " n0=" << h.n0
-     << " byz0=" << h.byz0 << " tau=" << h.params.tau
-     << " k=" << h.params.k << " adversary=" << h.adversary;
+  os << "v" << reader.version() << " seed=" << h.seed << " steps="
+     << h.steps << " n0=" << h.n0 << " byz0=" << h.byz0
+     << " tau=" << h.params.tau << " k=" << h.params.k
+     << " adversary=" << h.adversary;
   if (h.batch_ops > 0) {
     os << " batch_ops=" << h.batch_ops << " shards=" << h.shards
        << " byz_fraction=" << h.batch_byz_fraction << " placement="
        << (h.placement == BatchPlacement::kTargeted ? "targeted"
                                                     : "uniform")
        << " leave_quota=" << h.leave_quota;
+  }
+  if (reader.version() >= 2) {
+    os << " checkpoints=" << read_footer(reader).checkpoints.size();
   }
   if (!h.params.shuffle_enabled) os << " (no-shuffle)";
   return os.str();

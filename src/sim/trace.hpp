@@ -1,4 +1,4 @@
-// Scenario record & replay (DESIGN.md §8).
+// Scenario record & replay (DESIGN.md §8, §10).
 //
 // A trace is a compact framed binary file capturing everything an
 // adversary (or the batched scenario driver) DID to a deployment: every
@@ -15,6 +15,19 @@
 // to NOW: a failing adversarial scenario no longer evaporates with the
 // process that found it — its trace is a portable, shrinkable, CI-gated
 // reproducer (sim/corpus.hpp, bench/corpus/).
+//
+// Format v2 (DESIGN.md §10) adds SEEKABLE replay: the recorder embeds
+// periodic full system snapshots (core/snapshot.hpp save_system payloads)
+// as checkpoint frames, and a footer indexes their (step, byte offset)
+// pairs so replay can restore any checkpoint in O(1) and continue from
+// there bit-identically. Full replays byte-compare the live state against
+// every embedded snapshot — each checkpoint is an extra observation point
+// between samples — and bisect_trace binary-searches the checkpoint index
+// to localize a divergence with O(log steps) restores instead of an
+// O(steps) replay per hypothesis. v1 traces (header + events only) stay
+// readable forever; the v1 WRITER also stays available
+// (ScenarioConfig::trace_format = 1) so backward-compat coverage is a
+// regenerable artifact, not a frozen binary.
 //
 // The same file also defines the scenario CHECKPOINT format — the system
 // snapshot (core/snapshot.hpp) wrapped with the scenario driver's own
@@ -35,19 +48,26 @@
 
 namespace now::sim {
 
-// Traces carry only a header + the event stream (no embedded system
-// state), so the snapshot v2 slab format did not touch them. Checkpoints
-// embed a save_system payload and follow every snapshot version bump.
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+// Version rules (DESIGN.md §10): the reader accepts every version in
+// [kTraceMinReadVersion, kTraceFormatVersion]; the writer emits
+// kTraceFormatVersion unless ScenarioConfig::trace_format pins v1. The
+// header and event/sample/summary frame layouts are FROZEN across v1/v2 —
+// v2 only appends new frame kinds (checkpoint) and a footer — so one
+// replay loop serves both. Checkpoints embed a save_system payload and
+// follow every snapshot version bump.
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+inline constexpr std::uint32_t kTraceMinReadVersion = 1;
 inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Records a scenario into an in-memory trace; run_scenario drives it
-/// (attach as the system's TraceSink, call begin_step/record_sample, then
-/// finish). Purely a writer: it never inspects the system.
+/// (attach as the system's TraceSink, call begin_step/record_sample/
+/// record_checkpoint, then finish). A pure writer except for
+/// record_checkpoint, which serializes the system it is handed.
 class TraceRecorder final : public core::TraceSink {
  public:
   /// `n0` / `byz0` are the RESOLVED initialization inputs (after the
-  /// sqrt(N) and tau defaults were applied).
+  /// sqrt(N) and tau defaults were applied). config.trace_format == 1
+  /// selects the legacy v1 writer (no checkpoints, no footer).
   TraceRecorder(const ScenarioConfig& config, std::size_t n0,
                 std::size_t byz0, std::string adversary_name);
 
@@ -60,11 +80,49 @@ class TraceRecorder final : public core::TraceSink {
   void begin_step(std::size_t t);
   void record_sample(const InvariantSample& sample);
 
-  /// Appends the end-of-run summary and writes the framed file.
+  /// Embeds a checkpoint frame: full system snapshot plus the run's
+  /// partial aggregates (split/merge totals so far, peak fraction,
+  /// compromise state), so a replay seeked here reproduces the end
+  /// summary exactly. No-op for the v1 writer. Call at a step boundary,
+  /// after the step's sample (if any) was recorded.
+  void record_checkpoint(std::size_t step, const core::NowSystem& system,
+                         std::size_t splits_so_far,
+                         std::size_t merges_so_far,
+                         const ScenarioResult& partial);
+
+  /// Appends the end-of-run summary (and, for v2, the checkpoint footer)
+  /// and writes the framed file.
   void finish(const ScenarioResult& result, const std::string& path);
 
  private:
   core::SnapshotWriter writer_;
+  std::uint32_t format_version_ = kTraceFormatVersion;
+  /// (step, payload byte offset of the frame tag) per embedded checkpoint,
+  /// in step order — becomes the footer.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> checkpoints_;
+};
+
+/// Sentinel for ReplayOptions::start_checkpoint: replay from scratch
+/// (initialize a fresh deployment) instead of restoring a checkpoint.
+inline constexpr std::size_t kReplayFromStart = static_cast<std::size_t>(-1);
+
+/// Knobs for replay_trace. The defaults reproduce the recorded run
+/// exactly; every knob preserves bit-identity of the trajectory (shard
+/// count and resolve mode are equivalence axes of the engine, and seeking
+/// restores recorded state verbatim).
+struct ReplayOptions {
+  /// 0 = run each batch frame with its recorded shard count; otherwise
+  /// override every batch with this count (the replay-level shard
+  /// equivalence check).
+  std::size_t shards_override = 0;
+  /// Replay under a specific ResolveMode instead of the default.
+  /// save_params excludes resolve_mode precisely so this cannot perturb
+  /// the embedded-snapshot byte comparison.
+  bool override_resolve = false;
+  core::ResolveMode resolve_mode = core::ResolveMode::kAuto;
+  /// Index into trace_checkpoints() to restore and continue from
+  /// (v2 only); kReplayFromStart replays the whole trace.
+  std::size_t start_checkpoint = kReplayFromStart;
 };
 
 /// Outcome of replaying one trace.
@@ -72,20 +130,124 @@ struct TraceReplayResult {
   bool ok = true;
   /// First mismatch (empty when ok): which frame diverged and how.
   std::string error;
+  /// Step of the first observed mismatch (SIZE_MAX when ok). Divergence
+  /// is observable at sample frames, checkpoint frames and the end
+  /// summary, so this is the first OBSERVATION of the fork, at the
+  /// trace's sample/checkpoint granularity.
+  std::size_t first_bad_step = static_cast<std::size_t>(-1);
+  /// Step the replay started at (0 = from scratch, else the restored
+  /// checkpoint's step).
+  std::size_t start_step = 0;
   std::size_t steps_replayed = 0;
   std::size_t samples_checked = 0;
+  /// Embedded checkpoint snapshots byte-verified against live state.
+  std::size_t checkpoints_checked = 0;
   /// The scenario outcome RECONSTRUCTED from the replayed run (samples,
   /// peak fraction, compromise step, final counts) — callers report
-  /// verdicts from this exactly as they would from run_scenario.
+  /// verdicts from this exactly as they would from run_scenario. On a
+  /// seeked replay, `samples` holds only the post-seek tail; aggregates
+  /// are seeded from the restored checkpoint and cover the whole run.
   ScenarioResult result;
 };
 
-/// Re-drives a fresh deployment from the trace and verifies every
-/// recorded invariant sample and the end-of-run summary bit-exactly.
-/// Throws core::SnapshotError on malformed files; event/sample divergence
-/// is reported through the result instead (it means behavior drifted, not
-/// that the file is damaged).
-[[nodiscard]] TraceReplayResult replay_trace(const std::string& path);
+/// Re-drives a deployment from the trace and verifies every recorded
+/// invariant sample, every embedded checkpoint snapshot (v2, byte-exact)
+/// and the end-of-run summary. Throws core::SnapshotError on malformed
+/// files (bad footer, dangling checkpoint offsets, truncation);
+/// event/sample divergence is reported through the result instead (it
+/// means behavior drifted, not that the file is damaged).
+[[nodiscard]] TraceReplayResult replay_trace(const std::string& path,
+                                             const ReplayOptions& opts = {});
+
+/// One entry of a v2 trace's checkpoint footer.
+struct TraceCheckpointInfo {
+  std::size_t step = 0;
+  /// Byte offset of the checkpoint frame's tag within the payload.
+  std::uint64_t offset = 0;
+};
+
+/// The checkpoint index from a trace's footer, in step order. Empty for
+/// v1 traces. Throws core::SnapshotError on a malformed footer.
+[[nodiscard]] std::vector<TraceCheckpointInfo> trace_checkpoints(
+    const std::string& path);
+
+/// Header-level facts about a trace (the `now_trace info` listing and the
+/// corpus manifest machinery).
+struct TraceInfo {
+  std::uint32_t version = 0;
+  std::uint64_t seed = 0;
+  std::size_t steps = 0;
+  std::size_t sample_every = 0;
+  std::size_t n0 = 0;
+  std::size_t byz0 = 0;
+  std::size_t batch_ops = 0;
+  std::size_t shards = 0;
+  /// The recorded adversary budget — enough to re-classify a replayed
+  /// trajectory's failure kind without the original ScenarioConfig.
+  double tau = 0.0;
+  std::string adversary;
+  std::size_t checkpoint_count = 0;
+};
+[[nodiscard]] TraceInfo trace_info(const std::string& path);
+
+/// Outcome of bisecting a diverging trace.
+struct TraceBisectResult {
+  bool diverged = false;
+  /// First observed mismatch step (== the full replay's first_bad_step).
+  std::size_t first_bad_step = static_cast<std::size_t>(-1);
+  /// Step of the checkpoint the last FAILING probe restored (0 when the
+  /// from-scratch replay is that probe — the divergence precedes the
+  /// first checkpoint). The fork lies in (fork_lower_bound,
+  /// first_bad_step].
+  std::size_t fork_lower_bound = 0;
+  /// Checkpoint restores performed — the bisection's cost metric. At most
+  /// ceil(log2(#checkpoints + 1)): one restore per binary-search probe
+  /// (the anchoring from-scratch probe restores nothing).
+  std::size_t restores = 0;
+  std::size_t probes = 0;
+  /// The failing probe's mismatch message (empty when !diverged).
+  std::string error;
+};
+
+/// Localizes a divergence: one from-scratch replay anchors the failure,
+/// then a binary search over the checkpoint index finds the last
+/// checkpoint that still replays clean — monotone because every clean
+/// probe byte-verifies the later embedded snapshots, pinning the suffix
+/// to the recorded trajectory. O(log steps) checkpoint restores total.
+/// Works (degenerately, zero restores) on v1 traces with no checkpoints.
+[[nodiscard]] TraceBisectResult bisect_trace(const std::string& path);
+
+/// Fault-injection for the replay verifier (the mutation tests): each
+/// kind corrupts ONE recorded fact, re-frames the file with a valid
+/// checksum, and replay must report a divergence — never silently pass.
+enum class TraceMutationKind {
+  /// Flip a recorded event: a join's corruption bit, or a batch frame's
+  /// byzantine-join count (within bounds). The replayed trajectory forks
+  /// at the event's step; detection happens at the next sample or
+  /// checkpoint frame.
+  kEventBit,
+  /// Bump one field of a recorded invariant sample; detection is exact
+  /// at that sample's step.
+  kSampleField,
+  /// Bump one field of the end-of-run summary; detection at the final
+  /// step.
+  kSummaryField,
+};
+
+struct TraceMutation {
+  bool applied = false;
+  /// Step of the mutated frame (the earliest step a replay may detect
+  /// the fault at).
+  std::size_t step = 0;
+  std::string description;
+};
+
+/// Writes a mutated copy of `path` to `out_path` (valid framing, corrupt
+/// content). `pick` selects deterministically among the eligible frames.
+/// Returns applied = false when the trace has no frame of that kind.
+TraceMutation mutate_trace(const std::string& path,
+                           const std::string& out_path,
+                           TraceMutationKind kind, std::uint64_t pick);
 
 /// One-line human summary of a trace's header + summary frames (the
 /// `now_trace info` listing and the corpus manifest).
