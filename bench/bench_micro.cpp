@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -194,6 +196,10 @@ void BM_JoinLeaveCycle(benchmark::State& state) {
     return;
   }
   double commit_ns = 0;
+  double plan_ns = 0;
+  double resolve_ns = 0;
+  double stage1_ns = 0;
+  double stage2_ns = 0;
   double wave_count = 0;
   std::size_t batches = 0;
   for (auto _ : state) {
@@ -209,16 +215,28 @@ void BM_JoinLeaveCycle(benchmark::State& state) {
             .count() /
         static_cast<double>(kShardedBatch));
     commit_ns += static_cast<double>(up.commit_ns + down.commit_ns);
+    plan_ns += static_cast<double>(up.plan_ns + down.plan_ns);
+    resolve_ns += static_cast<double>(up.resolve_ns + down.resolve_ns);
+    stage1_ns += static_cast<double>(up.stage1_ns + down.stage1_ns);
+    stage2_ns += static_cast<double>(up.stage2_ns + down.stage2_ns);
     wave_count += static_cast<double>(up.wave_count + down.wave_count);
     batches += 2;
   }
-  // Commit-phase scalar rows of BENCH_micro.json: mean wall-ns of the
-  // two-stage commit and mean exchange waves the wave scheduler ran, per
-  // batch — the trajectory that tracks the sequential->parallel commit win
-  // separately from whole-step time.
+  // Phase scalar rows of BENCH_micro.json: mean wall-ns per batch of the
+  // plan phase and the commit phase (with the commit further broken into
+  // resolve / stage-1 apply / stage-2 merge), plus mean exchange waves —
+  // the trajectory that attributes whole-step movement to the phase that
+  // caused it.
   if (batches > 0) {
-    state.counters["commit_ns"] = commit_ns / static_cast<double>(batches);
-    state.counters["wave_count"] = wave_count / static_cast<double>(batches);
+    const auto per_batch = [batches](double total) {
+      return total / static_cast<double>(batches);
+    };
+    state.counters["commit_ns"] = per_batch(commit_ns);
+    state.counters["plan_ns"] = per_batch(plan_ns);
+    state.counters["resolve_ns"] = per_batch(resolve_ns);
+    state.counters["stage1_ns"] = per_batch(stage1_ns);
+    state.counters["stage2_ns"] = per_batch(stage2_ns);
+    state.counters["wave_count"] = per_batch(wave_count);
   }
 }
 BENCHMARK(BM_JoinLeaveCycle)
@@ -231,6 +249,90 @@ BENCHMARK(BM_JoinLeaveCycle)
     ->Args({100000, 4, 2})
     ->Args({200000, 1, 0})
     ->Args({200000, 4, 0});
+
+/// The huge-batch tier (DESIGN.md §11): one deployment at n ∈ {1e6, 1e7}
+/// stepped with 4096-op batches through the sharded engine — the scale the
+/// streaming plan kernels, bulk RNG derivation and epoch-stamped scratch
+/// exist for. Time is reported per join + leave pair (comparable with
+/// BM_JoinLeaveCycle); the counters add the per-batch phase breakdown and
+/// the deployment's memory footprint per node (NowSystem::footprint_bytes,
+/// capacities included), so both ns/op and bytes-per-node are gated rows in
+/// BENCH_micro.json. CI runs the 1e6 row; nightly runs the full 1e7 row and
+/// uploads the phase breakdown.
+///
+/// Initialization at these sizes is minutes of wall time (~130 µs/node),
+/// and Google Benchmark re-invokes the benchmark function several times to
+/// calibrate the iteration count — so the initialized deployment is built
+/// once per n and reused across invocations. Every iteration is a join
+/// batch followed by a leave batch of the same nodes, so the population
+/// returns to n and the system stays in steady state.
+struct HugeDeployment {
+  Metrics metrics;
+  core::NowSystem system;
+  explicit HugeDeployment(std::size_t n) : system{params_for(n), metrics, 9} {
+    system.initialize(n, n * 15 / 100, core::InitTopology::kModeledSparse);
+  }
+  static core::NowParams params_for(std::size_t n) {
+    core::NowParams params;
+    params.max_size = std::bit_ceil(std::uint64_t{2} * n);
+    params.walk_mode = core::WalkMode::kSampleExact;
+    return params;
+  }
+};
+
+HugeDeployment& huge_deployment(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<HugeDeployment>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<HugeDeployment>(n);
+  return *slot;
+}
+
+void BM_HugeBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 4096;
+  constexpr std::size_t kShards = 8;
+  core::NowSystem& system = huge_deployment(n).system;
+  double commit_ns = 0;
+  double plan_ns = 0;
+  double resolve_ns = 0;
+  double stage1_ns = 0;
+  double stage2_ns = 0;
+  std::size_t batches = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto [joined, up] = system.step_parallel(kBatch, {}, false, kShards);
+    benchmark::DoNotOptimize(up.cost.messages);
+    const auto [unused, down] = system.step_parallel(0, joined, false, kShards);
+    benchmark::DoNotOptimize(down.cost.messages);
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(kBatch));
+    commit_ns += static_cast<double>(up.commit_ns + down.commit_ns);
+    plan_ns += static_cast<double>(up.plan_ns + down.plan_ns);
+    resolve_ns += static_cast<double>(up.resolve_ns + down.resolve_ns);
+    stage1_ns += static_cast<double>(up.stage1_ns + down.stage1_ns);
+    stage2_ns += static_cast<double>(up.stage2_ns + down.stage2_ns);
+    batches += 2;
+  }
+  if (batches > 0) {
+    const auto per_batch = [batches](double total) {
+      return total / static_cast<double>(batches);
+    };
+    state.counters["commit_ns"] = per_batch(commit_ns);
+    state.counters["plan_ns"] = per_batch(plan_ns);
+    state.counters["resolve_ns"] = per_batch(resolve_ns);
+    state.counters["stage1_ns"] = per_batch(stage1_ns);
+    state.counters["stage2_ns"] = per_batch(stage2_ns);
+  }
+  state.counters["bytes_per_node"] =
+      static_cast<double>(system.footprint_bytes()) /
+      static_cast<double>(system.num_nodes());
+}
+BENCHMARK(BM_HugeBatch)
+    ->UseManualTime()
+    ->Arg(1000000)
+    ->Arg(10000000);
 
 /// The stage-1 member-edit hot loop in isolation: apply_member_edits over
 /// every cluster of an n-node partition — netting, one-pass merge, in-place

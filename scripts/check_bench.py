@@ -90,6 +90,15 @@ def check_emitter_file(name: str, base: dict, cur: dict, wall_tol: float,
                 f"(> {wall_tol:.2f}x slower; warn-only)")
 
 
+# Per-batch phase/footprint counters emitted by bench_micro's sharded rows
+# (BM_JoinLeaveCycle, BM_HugeBatch). All wall-clock or machine-dependent,
+# hence warn-only like real_time — but tracked individually so a drift in
+# one phase (plan vs resolve vs stage-1 vs stage-2) is attributed, not
+# hidden inside the whole-step time.
+MICRO_COUNTERS = ("commit_ns", "plan_ns", "resolve_ns", "stage1_ns",
+                  "stage2_ns", "bytes_per_node")
+
+
 def check_micro_file(name: str, base: dict, cur: dict, wall_tol: float,
                      errors: list, warnings: list) -> None:
     """Google Benchmark schema: wall time is machine-dependent, and the
@@ -111,6 +120,12 @@ def check_micro_file(name: str, base: dict, cur: dict, wall_tol: float,
             warnings.append(
                 f"{name}: real_time of '{bname}' {bt:.0f} -> {ct:.0f} "
                 f"(> {wall_tol:.2f}x slower; warn-only)")
+        for counter in MICRO_COUNTERS:
+            bv, cv = bbench.get(counter), cbench.get(counter)
+            if bv and cv and cv > bv * wall_tol:
+                warnings.append(
+                    f"{name}: {counter} of '{bname}' {bv:.0f} -> {cv:.0f} "
+                    f"(> {wall_tol:.2f}x higher; warn-only)")
 
 
 def check_csv_file(name: str, base_path: Path, cur_path: Path,

@@ -238,6 +238,12 @@ class MemberSlab {
   }
   [[nodiscard]] std::uint64_t compaction_count() const { return compactions_; }
 
+  /// Resident bytes: the member pool plus the extent table (capacities).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return pool_.capacity() * sizeof(NodeId) +
+           extents_.capacity() * sizeof(Extent);
+  }
+
   [[nodiscard]] bool compaction_due() const {
     return tail_ > 2 * live() + kCompactSlack;
   }

@@ -87,6 +87,11 @@ class NodeSet {
   [[nodiscard]] const_iterator begin() const { return dense_.begin(); }
   [[nodiscard]] const_iterator end() const { return dense_.end(); }
 
+  /// Resident bytes: the dense member vector plus the paged position index.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return dense_.capacity() * sizeof(NodeId) + pos_.footprint_bytes();
+  }
+
  private:
   static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
 

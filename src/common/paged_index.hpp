@@ -70,6 +70,24 @@ class PagedIndex {
 
   [[nodiscard]] T empty_value() const { return empty_; }
 
+  /// Requests the cache line holding `key`'s entry (no-op for unset
+  /// pages). Batch sweeps issue this one key ahead so the load overlaps
+  /// the current element's work.
+  void prefetch(std::uint64_t key) const {
+    const std::size_t page = page_of(key);
+    if (page >= pages_.size() || pages_[page] == nullptr) return;
+    __builtin_prefetch(&(*pages_[page])[slot_of(key)]);
+  }
+
+  /// Resident bytes: the page-pointer vector plus every allocated page.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::size_t bytes = pages_.capacity() * sizeof(pages_[0]);
+    for (const auto& page : pages_) {
+      if (page != nullptr) bytes += sizeof(Page);
+    }
+    return bytes;
+  }
+
  private:
   static constexpr std::size_t kPageBits = 10;  // 1024 entries per page
   static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;

@@ -111,4 +111,18 @@ Rng Rng::derive_stream(std::uint64_t seed, std::uint64_t stream,
   return Rng{splitmix64(state)};
 }
 
+void Rng::derive_streams(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t first, std::size_t count, Rng* out) {
+  // The first two splitmix64 rounds of derive_stream depend only on
+  // (seed, stream); hoist them so the loop body is pure per-substream mix.
+  std::uint64_t state = seed;
+  std::uint64_t acc = splitmix64(state);
+  state = acc ^ (stream + 0xA0761D6478BD642FULL);
+  acc = splitmix64(state);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t sub = acc ^ (first + i + 0xE7037ED1A0B428DBULL);
+    out[i] = Rng{splitmix64(sub)};
+  }
+}
+
 }  // namespace now

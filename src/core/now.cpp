@@ -79,13 +79,6 @@ struct PendingSwap {
   std::uint32_t y_flat = 0;
 };
 
-struct PlannedOp {
-  bool is_join = false;
-  NodeId node;                              // joiner or leaver
-  ClusterId target = ClusterId::invalid();  // join target / leave home
-  std::uint64_t rounds = 0;                 // op critical path
-};
-
 /// One scheduled exchange wave (DESIGN.md §7): cluster `cluster` shuffles
 /// all of its snapshot members once this time step, however many batch
 /// operations touched it. Waves are collected in canonical order (first
@@ -120,12 +113,17 @@ struct WaveWorkspace {
   std::uint32_t epoch = 0;
 };
 
+constexpr std::size_t kNoWave = static_cast<std::size_t>(-1);
+
 /// Batch-engine state persisting across time steps (owned by NowSystem
 /// through a unique_ptr; the header only forward-declares it). Everything
 /// here is either a cache whose content survives batches (PlanCache, the
 /// per-cluster wave caches) or scratch whose *capacity* survives (footprint
 /// counters, per-slot edit buffers, per-shard workspaces) so steady-state
-/// batches run allocation-free.
+/// batches run allocation-free. Per-slot scratch is epoch-stamped
+/// (DESIGN.md §11): `slot_epoch` bumps once per batch, every write stamps
+/// it, and a read whose stamp is stale sees "untouched" — no per-batch
+/// reset sweep is ever needed, for any slot count.
 struct BatchScratch {
   /// Incrementally maintained snapshot aggregates (core/plan_cache.hpp).
   PlanCache cache;
@@ -137,12 +135,39 @@ struct BatchScratch {
   std::vector<PlannedWave> primaries;
   std::vector<PlannedWave> secondaries;
 
-  /// Batch leavers grouped by home slot; only the slots named in
-  /// `leaver_slots` are populated (cleared after the batch).
+  /// Struct-of-arrays op plan, one entry per batch operation in canonical
+  /// order (joins first, then leaves): kind, node, planned target (walk
+  /// result / leave home), the target's slot, and the op's critical path.
+  /// The plan, wave-collection and resolve passes stream these flat arrays
+  /// instead of hopping per-op structs.
+  std::vector<std::uint8_t> op_is_join;
+  std::vector<NodeId> op_node;
+  std::vector<ClusterId> op_target;
+  std::vector<std::uint32_t> op_slot;
+  std::vector<std::uint64_t> op_rounds;
+  /// Bulk-derived RNG streams (Rng::derive_streams): one per op, then one
+  /// per wave tier, reusing the same buffers every batch.
+  std::vector<Rng> op_rng;
+  std::vector<Rng> wave_rng;
+  /// Per-shard op-index assignment (rebuilt per batch, capacities kept).
+  std::vector<std::vector<std::size_t>> assignment;
+
+  /// Batch epoch for the per-slot scratch below. Starts at 1 so the
+  /// zero-initialized epoch arrays read as "never touched".
+  std::uint64_t slot_epoch = 0;
+
+  /// Batch leavers grouped by home slot; `leavers_by_slot[slot]` is only
+  /// meaningful when `leaver_epoch_of_slot[slot] == slot_epoch` (read it
+  /// through leavers_of()). `leaver_slots` lists this batch's slots.
   std::vector<std::vector<NodeId>> leavers_by_slot;
+  std::vector<std::uint64_t> leaver_epoch_of_slot;
   std::vector<std::uint32_t> leaver_slots;
-  /// Wave index per touched slot (reset per batch via the wave lists).
+  /// Wave index per touched slot, epoch-stamped (read through wave_of()).
   std::vector<std::size_t> wave_of_slot;
+  std::vector<std::uint64_t> wave_epoch_of_slot;
+  /// First-touch dedup for the restructuring-candidate list (a live
+  /// cluster's slot is as unique as its id within a batch).
+  std::vector<std::uint64_t> candidate_epoch_of_slot;
 
   /// Epoch-stamped footprint counters over slab positions (sized to
   /// MemberSlab::tail(); epoch stamps absorb layout changes between
@@ -169,6 +194,45 @@ struct BatchScratch {
   std::vector<std::vector<std::pair<std::size_t, std::int64_t>>>
       delta_scratch;
   std::vector<std::vector<std::size_t>> touched_scratch;
+
+  // Commit-phase scratch that used to be per-batch locals; hoisted so
+  // steady-state batches stay allocation-free (capacities persist).
+  std::vector<std::size_t> seq_touched;
+  std::vector<ClusterId> candidates;
+  std::vector<std::pair<std::size_t, std::int64_t>> all_deltas;
+  std::vector<std::pair<std::size_t, const std::vector<NodeId>*>> spilled;
+  std::vector<std::size_t> shard_drops;
+  std::vector<std::size_t> shard_replays;
+
+  /// Grows every per-slot scratch array to `slot_count` entries, with
+  /// geometric over-allocation so total growth work stays amortized O(1)
+  /// per batch (the arrays never shrink; epoch stamps make stale content
+  /// invisible).
+  void ensure_slot_capacity(std::size_t slot_count) {
+    if (leavers_by_slot.size() >= slot_count) return;
+    const std::size_t grown =
+        std::max(slot_count, 2 * leavers_by_slot.size());
+    leavers_by_slot.resize(grown);
+    leaver_epoch_of_slot.resize(grown, 0);
+    wave_of_slot.resize(grown, 0);
+    wave_epoch_of_slot.resize(grown, 0);
+    candidate_epoch_of_slot.resize(grown, 0);
+    wave_cache.resize(grown);
+    edit_scratch.resize(grown);
+  }
+
+  /// This batch's leavers homed at `slot` (empty when the slot was not
+  /// touched this batch — stale buffer content is invisible).
+  [[nodiscard]] std::span<const NodeId> leavers_of(std::size_t slot) const {
+    if (leaver_epoch_of_slot[slot] != slot_epoch) return {};
+    return leavers_by_slot[slot];
+  }
+
+  /// This batch's wave index for `slot`, or kNoWave.
+  [[nodiscard]] std::size_t wave_of(std::size_t slot) const {
+    return wave_epoch_of_slot[slot] == slot_epoch ? wave_of_slot[slot]
+                                                  : kNoWave;
+  }
 
   [[nodiscard]] std::uint64_t foot_value(std::uint64_t flat) const {
     const std::uint64_t entry = foot[flat];
@@ -200,6 +264,54 @@ struct BatchScratch {
       }
     }
   }
+
+  /// Resident bytes of the persistent batch-engine state: the PlanCache
+  /// plus every scratch buffer, capacities included down one nesting level
+  /// — the batch half of NowSystem::footprint_bytes().
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    const auto vec_bytes = [](const auto& v) {
+      return v.capacity() * sizeof(v[0]);
+    };
+    std::size_t bytes = cache.footprint_bytes();
+    bytes += vec_bytes(wave_cache);
+    for (const ClusterWaveCache& c : wave_cache) {
+      bytes += vec_bytes(c.swaps) + vec_bytes(c.partners);
+    }
+    bytes += vec_bytes(wave_ws);
+    for (const WaveWorkspace& w : wave_ws) bytes += vec_bytes(w.partner_epoch);
+    bytes += vec_bytes(primaries) + vec_bytes(secondaries) +
+             vec_bytes(op_is_join) + vec_bytes(op_node) +
+             vec_bytes(op_target) + vec_bytes(op_slot) +
+             vec_bytes(op_rounds) + vec_bytes(op_rng) + vec_bytes(wave_rng);
+    bytes += vec_bytes(assignment);
+    for (const auto& a : assignment) bytes += vec_bytes(a);
+    bytes += vec_bytes(leavers_by_slot);
+    for (const auto& l : leavers_by_slot) bytes += vec_bytes(l);
+    bytes += vec_bytes(leaver_epoch_of_slot) + vec_bytes(leaver_slots) +
+             vec_bytes(wave_of_slot) + vec_bytes(wave_epoch_of_slot) +
+             vec_bytes(candidate_epoch_of_slot) + vec_bytes(foot) +
+             vec_bytes(fate) + vec_bytes(all_waves) +
+             vec_bytes(wave_swap_offset);
+    bytes += vec_bytes(edit_scratch);
+    for (const auto& e : edit_scratch) bytes += vec_bytes(e);
+    bytes += vec_bytes(edit_workspaces);
+    for (const NowState::EditScratch& w : edit_workspaces) {
+      bytes += vec_bytes(w.adds) + vec_bytes(w.removes) +
+               vec_bytes(w.merge) + vec_bytes(w.spills);
+      for (const auto& [slot, members] : w.spills) {
+        (void)slot;
+        bytes += vec_bytes(members);
+      }
+    }
+    bytes += vec_bytes(delta_scratch);
+    for (const auto& d : delta_scratch) bytes += vec_bytes(d);
+    bytes += vec_bytes(touched_scratch);
+    for (const auto& t : touched_scratch) bytes += vec_bytes(t);
+    bytes += vec_bytes(seq_touched) + vec_bytes(candidates) +
+             vec_bytes(all_deltas) + vec_bytes(spilled) +
+             vec_bytes(shard_drops) + vec_bytes(shard_replays);
+    return bytes;
+  }
 };
 
 /// Optimistic-resolve outcomes (BatchScratch::fate).
@@ -208,9 +320,6 @@ enum : std::uint8_t {
   kFateDrop = 1,     // resolved in parallel: partner left, swap dropped
   kFateReplayed = 2  // handed to the sequential conflict pass
 };
-
-constexpr std::size_t kNoWave = static_cast<std::size_t>(-1);
-
 
 namespace {
 
@@ -337,20 +446,18 @@ void plan_wave(const NowState& state, const NowParams& params,
 /// the induced exchange itself is scheduled by the wave scheduler (one wave
 /// per touched cluster per time step) and the induced split is deferred to
 /// commit.
-PlannedOp plan_join(const NowState& state, const NowParams& params,
-                    NodeId node, const PlanCache& cache, Metrics& metrics,
-                    Rng& rng) {
+void plan_join(const NowState& state, const NowParams& params, NodeId node,
+               const PlanCache& cache, Metrics& metrics, Rng& rng,
+               ClusterId& target_out, std::uint64_t& rounds_out) {
+  (void)node;
   OpScope scope(metrics, "join");
-  PlannedOp op;
-  op.is_join = true;
-  op.node = node;
   const ClusterId contact = state.random_cluster_uniform(rng);
   const auto walk = plan_rand_cl(state, params, contact, cache, metrics, rng);
   std::uint64_t rounds = walk.cost.rounds;
-  op.target = walk.cluster;
+  target_out = walk.cluster;
 
-  const auto& dest = state.cluster_at(op.target);
-  const std::uint64_t neighborhood = cache.neighborhood(state, op.target);
+  const auto& dest = state.cluster_at(target_out);
+  const std::uint64_t neighborhood = cache.neighborhood(state, target_out);
   metrics.add_messages(dest.size() * neighborhood);  // announce x, 1 unit
   const std::uint64_t info_units =
       static_cast<std::uint64_t>(dest.size()) + neighborhood;
@@ -359,30 +466,26 @@ PlannedOp plan_join(const NowState& state, const NowParams& params,
                         static_cast<std::uint64_t>(walk.hops)));
   rounds += 2;
 
-  op.rounds = rounds;
+  rounds_out = rounds;
   metrics.add_rounds(rounds);
-  return op;
 }
 
-/// Plans Algorithm 2 for `node`. The induced exchange wave (plus the
-/// secondary waves of its partners) is scheduled by the wave scheduler; the
-/// induced merge is deferred to commit.
-PlannedOp plan_leave(const NowState& state, const NowParams& params,
-                     NodeId node, const PlanCache& cache, Metrics& metrics,
-                     Rng& rng) {
-  // The leave itself is deterministic: its random decisions all live in the
-  // exchange wave the scheduler plans separately (on the wave's stream).
-  (void)params;
-  (void)rng;
+/// Plans Algorithm 2 for the leaver homed at `slot`. The leave itself is
+/// deterministic — its random decisions all live in the exchange wave the
+/// scheduler plans separately — so with the home slot precomputed by the
+/// partition pass it reduces to one streaming cost charge over the flat
+/// per-slot tables (size from the slab extent, neighborhood from the
+/// cache's dense array; identical values to the cluster_at path). The
+/// induced exchange wave (plus the secondary waves of its partners) is
+/// scheduled by the wave scheduler; the induced merge is deferred to
+/// commit.
+std::uint64_t plan_leave(const NowState& state, const PlanCache& cache,
+                         std::uint32_t slot, Metrics& metrics) {
   OpScope scope(metrics, "leave");
-  PlannedOp op;
-  op.node = node;
-  op.target = state.home_of(node);
-  metrics.add_messages(state.cluster_at(op.target).size() *
-                       cache.neighborhood(state, op.target));  // drop x
-  op.rounds = 1;
-  metrics.add_rounds(op.rounds);
-  return op;
+  metrics.add_messages(state.member_slab().size(slot) *
+                       cache.neighborhood_by_slot[slot]);  // drop x
+  metrics.add_rounds(1);
+  return 1;
 }
 
 }  // namespace
@@ -399,6 +502,18 @@ NowSystem::NowSystem(const NowParams& params, Metrics& metrics,
 NowSystem::~NowSystem() = default;
 
 void NowSystem::invalidate_plan_cache() { batch_->cache.invalidate(); }
+
+std::size_t NowSystem::footprint_bytes() const {
+  return state_.footprint_bytes() + batch_->footprint_bytes();
+}
+
+std::size_t NowSystem::debug_foot_capacity() const {
+  return batch_->foot.capacity();
+}
+
+bool NowSystem::plan_cache_consistent() const {
+  return !batch_->cache.valid || batch_->cache.consistent_with(state_);
+}
 
 // Snapshot glue for the PlanCache (core/snapshot.cpp drives these; they
 // live here because BatchScratch is opaque outside this file). Only the
@@ -677,23 +792,43 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // walk lands) round-robin. The assignment balances work; it can never
   // change results because plans read only the snapshot + their own stream.
   // Leavers are also grouped by home slot: their cluster's wave must not
-  // shuffle a departing node onward.
+  // shuffle a departing node onward. The op plan is laid out as flat
+  // struct-of-arrays (kind / node / target / home slot / rounds) so every
+  // later pass over the batch streams sequential memory; the leave sweep
+  // prefetches the next leaver's node_home line one op ahead.
+  const auto plan_start = std::chrono::steady_clock::now();
   const std::size_t slot_count = state_.slot_count();
   const std::size_t total_ops = joins + leaves.size();
-  std::vector<PlannedOp> ops(total_ops);
+  ++bs.slot_epoch;
+  bs.ensure_slot_capacity(slot_count);
+  bs.leaver_slots.clear();
+  bs.op_is_join.resize(total_ops);
+  bs.op_node.resize(total_ops);
+  bs.op_target.resize(total_ops, ClusterId::invalid());
+  bs.op_slot.resize(total_ops);
+  bs.op_rounds.resize(total_ops);
   std::vector<Metrics> shard_metrics(shards);
-  std::vector<std::vector<std::size_t>> assignment(shards);
-  if (bs.leavers_by_slot.size() < slot_count) {
-    bs.leavers_by_slot.resize(slot_count);
-  }
+  if (bs.assignment.size() < shards) bs.assignment.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) bs.assignment[s].clear();
   for (std::size_t i = 0; i < joins; ++i) {
-    assignment[i % shards].push_back(i);
+    bs.op_is_join[i] = 1;
+    bs.op_node[i] = joined[i];
+    bs.assignment[i % shards].push_back(i);
   }
   for (std::size_t j = 0; j < leaves.size(); ++j) {
+    if (j + 1 < leaves.size()) state_.prefetch_home(leaves[j + 1]);
     assert(state_.is_placed(leaves[j]) && "leave of an unplaced node");
-    const std::size_t slot = state_.slot_index(state_.home_of(leaves[j]));
-    assignment[slot % shards].push_back(joins + j);
-    if (bs.leavers_by_slot[slot].empty()) {
+    const ClusterId home = state_.home_of(leaves[j]);
+    const std::size_t slot = state_.slot_index(home);
+    const std::size_t index = joins + j;
+    bs.op_is_join[index] = 0;
+    bs.op_node[index] = leaves[j];
+    bs.op_target[index] = home;
+    bs.op_slot[index] = static_cast<std::uint32_t>(slot);
+    bs.assignment[slot % shards].push_back(index);
+    if (bs.leaver_epoch_of_slot[slot] != bs.slot_epoch) {
+      bs.leaver_epoch_of_slot[slot] = bs.slot_epoch;
+      bs.leavers_by_slot[slot].clear();
       bs.leaver_slots.push_back(static_cast<std::uint32_t>(slot));
     }
     bs.leavers_by_slot[slot].push_back(leaves[j]);
@@ -718,7 +853,11 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     ++bs.foot_epoch;
     const cluster::MemberSlab& slab = state_.member_slab();
     if (bs.foot.size() < slab.tail()) {
-      bs.foot.resize(slab.tail(), 0);
+      // Geometric growth: the epoch stamps make old content invisible, so
+      // only capacity matters and total resize work stays amortized O(1)
+      // per batch instead of O(tail) on every tail advance.
+      bs.foot.resize(
+          std::max<std::size_t>(slab.tail(), 2 * bs.foot.size()), 0);
     }
     for (const std::uint32_t slot : bs.leaver_slots) {
       const std::size_t index = cache.index_by_slot[slot];
@@ -729,15 +868,23 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     }
   }
 
+  // Per-op RNG streams, derived in one bulk kernel (ops occupy substreams
+  // [0, total_ops); the wave tiers continue the numbering below).
+  bs.op_rng.resize(total_ops, Rng{0});
+  Rng::derive_streams(seed_, batch_id, 0, total_ops, bs.op_rng.data());
+
   pool.parallel_for(shards, [&](std::size_t s) {
-    for (const std::size_t index : assignment[s]) {
-      Rng op_rng = Rng::derive_stream(seed_, batch_id, index);
-      if (index < joins) {
-        ops[index] = plan_join(snapshot, params_, joined[index], cache,
-                               shard_metrics[s], op_rng);
+    for (const std::size_t index : bs.assignment[s]) {
+      Rng op_rng = bs.op_rng[index];
+      if (bs.op_is_join[index] != 0) {
+        plan_join(snapshot, params_, bs.op_node[index], cache,
+                  shard_metrics[s], op_rng, bs.op_target[index],
+                  bs.op_rounds[index]);
+        bs.op_slot[index] = static_cast<std::uint32_t>(
+            snapshot.slot_index(bs.op_target[index]));
       } else {
-        ops[index] = plan_leave(snapshot, params_, leaves[index - joins],
-                                cache, shard_metrics[s], op_rng);
+        bs.op_rounds[index] =
+            plan_leave(snapshot, cache, bs.op_slot[index], shard_metrics[s]);
       }
     }
   });
@@ -748,26 +895,22 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // nodes once per time step. First-touch operation order makes the wave
   // list and the per-wave RNG streams (numbered after the operations)
   // canonical, i.e. independent of the shard count.
-  if (bs.wave_of_slot.size() < slot_count) {
-    bs.wave_of_slot.resize(slot_count, kNoWave);
-  }
-  if (bs.wave_cache.size() < slot_count) bs.wave_cache.resize(slot_count);
   bs.primaries.clear();
   bs.secondaries.clear();
   if (params_.shuffle_enabled) {
-    for (const PlannedOp& op : ops) {
-      const std::size_t slot = state_.slot_index(op.target);
-      if (bs.wave_of_slot[slot] == kNoWave) {
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      const std::size_t slot = bs.op_slot[i];
+      if (bs.wave_of(slot) == kNoWave) {
         // A cluster whose every snapshot member is leaving has nobody left
         // to shuffle; skip its wave (mirrors the sequential engine's
         // size > 1 guard on the post-removal exchange).
-        if (snapshot.cluster_at(op.target).size() <=
-            bs.leavers_by_slot[slot].size()) {
+        if (snapshot.member_slab().size(slot) <= bs.leavers_of(slot).size()) {
           continue;
         }
+        bs.wave_epoch_of_slot[slot] = bs.slot_epoch;
         bs.wave_of_slot[slot] = bs.primaries.size();
         PlannedWave wave;
-        wave.cluster = op.target;
+        wave.cluster = bs.op_target[i];
         wave.slot = static_cast<std::uint32_t>(slot);
         wave.stream = static_cast<std::uint64_t>(total_ops) +
                       static_cast<std::uint64_t>(bs.primaries.size());
@@ -775,7 +918,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
         bs.wave_cache[slot].swaps.clear();
         bs.wave_cache[slot].partners.clear();
       }
-      if (!op.is_join && bs.wave_of_slot[slot] != kNoWave) {
+      if (bs.op_is_join[i] == 0 && bs.wave_of(slot) != kNoWave) {
         bs.primaries[bs.wave_of_slot[slot]].from_leave = true;
       }
     }
@@ -786,12 +929,18 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       bs.wave_ws[s].partner_epoch.resize(cache.id_by_index.size(), 0);
     }
   }
+  // Wave streams are numbered right after the ops (primaries[w].stream ==
+  // total_ops + w by construction), so one bulk derivation covers the tier.
+  bs.wave_rng.resize(bs.primaries.size(), Rng{0});
+  Rng::derive_streams(seed_, batch_id, total_ops, bs.primaries.size(),
+                      bs.wave_rng.data());
   pool.parallel_for(shards, [&](std::size_t s) {
-    for (PlannedWave& wave : bs.primaries) {
+    for (std::size_t w = 0; w < bs.primaries.size(); ++w) {
+      PlannedWave& wave = bs.primaries[w];
       if (wave.slot % shards != s) continue;
-      Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
+      Rng wave_rng = bs.wave_rng[w];
       plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
-                bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
+                bs.leavers_of(wave.slot), cache, bs.wave_ws[s],
                 optimistic ? &bs : nullptr, shard_metrics[s], wave_rng);
     }
   });
@@ -805,14 +954,14 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     if (!primary.from_leave) continue;
     for (const ClusterId partner : bs.wave_cache[primary.slot].partners) {
       const std::size_t slot = state_.slot_index(partner);
-      if (bs.wave_of_slot[slot] != kNoWave) continue;
+      if (bs.wave_of(slot) != kNoWave) continue;
       // A partner can carry leavers only when its own primary wave was
       // skipped because everyone is leaving — nobody to shuffle, so no
       // secondary either (a partial-leaver cluster always has a primary).
-      if (snapshot.cluster_at(partner).size() <=
-          bs.leavers_by_slot[slot].size()) {
+      if (snapshot.member_slab().size(slot) <= bs.leavers_of(slot).size()) {
         continue;
       }
+      bs.wave_epoch_of_slot[slot] = bs.slot_epoch;
       bs.wave_of_slot[slot] = bs.primaries.size() + bs.secondaries.size();
       PlannedWave wave;
       wave.cluster = partner;
@@ -825,12 +974,19 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       bs.wave_cache[slot].partners.clear();
     }
   }
+  // Secondary streams continue the numbering: total_ops + |primaries| + w.
+  bs.wave_rng.resize(bs.secondaries.size(), Rng{0});
+  Rng::derive_streams(seed_, batch_id,
+                      static_cast<std::uint64_t>(total_ops) +
+                          static_cast<std::uint64_t>(bs.primaries.size()),
+                      bs.secondaries.size(), bs.wave_rng.data());
   pool.parallel_for(shards, [&](std::size_t s) {
-    for (PlannedWave& wave : bs.secondaries) {
+    for (std::size_t w = 0; w < bs.secondaries.size(); ++w) {
+      PlannedWave& wave = bs.secondaries[w];
       if (wave.slot % shards != s) continue;
-      Rng wave_rng = Rng::derive_stream(seed_, batch_id, wave.stream);
+      Rng wave_rng = bs.wave_rng[w];
       plan_wave(snapshot, params_, wave, bs.wave_cache[wave.slot],
-                bs.leavers_by_slot[wave.slot], cache, bs.wave_ws[s],
+                bs.leavers_of(wave.slot), cache, bs.wave_ws[s],
                 optimistic ? &bs : nullptr, shard_metrics[s], wave_rng);
     }
   });
@@ -844,8 +1000,8 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     combined.shard_costs.push_back(shard.total());
     metrics_.merge(shard);
   }
-  for (const PlannedOp& op : ops) {
-    rounds_max = std::max(rounds_max, op.rounds);
+  for (const std::uint64_t rounds : bs.op_rounds) {
+    rounds_max = std::max(rounds_max, rounds);
   }
   std::uint64_t primary_rounds = 0;
   for (const PlannedWave& wave : bs.primaries) {
@@ -856,6 +1012,10 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     secondary_rounds = std::max(secondary_rounds, wave.rounds);
   }
   rounds_max += primary_rounds + secondary_rounds;
+  combined.plan_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - plan_start)
+          .count());
 
   // --- Commit (DESIGN.md §7): optimistic parallel resolve + conflict
   // replay, then the two parallel/sequential apply stages.
@@ -871,29 +1031,34 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     // home map for the conflict replay below. Also collects the
     // restructuring candidates in first-touch order (swaps are
     // size-neutral, so only op targets can cross a threshold).
-    if (bs.edit_scratch.size() < slot_count) {
-      bs.edit_scratch.resize(slot_count);
-    }
-    std::vector<std::size_t> seq_touched;
-    std::vector<ClusterId> candidates;  // resized clusters, first touch
+    const auto resolve_start = std::chrono::steady_clock::now();
+    std::vector<std::size_t>& seq_touched = bs.seq_touched;
+    std::vector<ClusterId>& candidates = bs.candidates;
+    seq_touched.clear();
+    candidates.clear();  // resized clusters, first touch
     const auto record = [&](std::size_t slot, NodeId n, bool add) {
       if (bs.edit_scratch[slot].empty()) seq_touched.push_back(slot);
       bs.edit_scratch[slot].push_back(NowState::MemberEdit{n, add});
     };
-    for (const PlannedOp& op : ops) {
-      if (std::find(candidates.begin(), candidates.end(), op.target) ==
-          candidates.end()) {
-        candidates.push_back(op.target);
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      if (i + 1 < total_ops) state_.prefetch_home(bs.op_node[i + 1]);
+      const std::size_t slot = bs.op_slot[i];
+      // First-touch candidate dedup, epoch-stamped by slot: op targets are
+      // live snapshot clusters, and a live cluster's slot is unique until
+      // stage 2's restructuring, so slot identity == cluster identity here
+      // (the linear std::find this replaces was O(ops^2) at 1e7).
+      if (bs.candidate_epoch_of_slot[slot] != bs.slot_epoch) {
+        bs.candidate_epoch_of_slot[slot] = bs.slot_epoch;
+        candidates.push_back(bs.op_target[i]);
       }
-      const std::size_t slot = state_.slot_index(op.target);
-      if (op.is_join) {
-        record(slot, op.node, /*add=*/true);
-        state_.commit_home(op.node, op.target);
+      if (bs.op_is_join[i] != 0) {
+        record(slot, bs.op_node[i], /*add=*/true);
+        state_.commit_home(bs.op_node[i], bs.op_target[i]);
       } else {
-        record(slot, op.node, /*add=*/false);
-        state_.byzantine.erase(op.node);
-        state_.unregister_node(op.node);
-        state_.clear_home(op.node);
+        record(slot, bs.op_node[i], /*add=*/false);
+        state_.byzantine.erase(bs.op_node[i]);
+        state_.unregister_node(bs.op_node[i]);
+        state_.clear_home(bs.op_node[i]);
       }
     }
 
@@ -976,8 +1141,10 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       // Footprints were already counted by the wave planners (and the
       // leaver marks written before planning); no sweep needed here.
       bs.fate.resize(total_swaps);
-      std::vector<std::size_t> shard_drops(shards, 0);
-      std::vector<std::size_t> shard_replays(shards, 0);
+      std::vector<std::size_t>& shard_drops = bs.shard_drops;
+      std::vector<std::size_t>& shard_replays = bs.shard_replays;
+      shard_drops.assign(shards, 0);
+      shard_replays.assign(shards, 0);
       pool.parallel_for(shards, [&](std::size_t s) {
         std::size_t drops = 0;
         std::size_t replays = 0;
@@ -1049,6 +1216,12 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
     }
 
+    combined.resolve_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - resolve_start)
+            .count());
+    const auto stage1_start = std::chrono::steady_clock::now();
+
     // Stage 1 (parallel): slots are partitioned into CONTIGUOUS blocks
     // (one per shard); each worker first GATHERS its block's share of the
     // optimistically applied swaps' edits from the fate array (scanning in
@@ -1111,6 +1284,11 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
       for (const std::size_t slot : bs.touched_scratch[s]) apply(slot);
     });
+    combined.stage1_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - stage1_start)
+            .count());
+    const auto stage2_start = std::chrono::steady_clock::now();
 
     // Stage 2 (sequential), part 0: re-home the slots whose merged
     // membership outgrew their slab extent. The spill set is
@@ -1119,16 +1297,16 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     // allocation sequence — and the slab layout — canonical. Must precede
     // apply_size_deltas, whose debug contract checks final extent sizes.
     {
-      std::vector<std::pair<std::size_t, const std::vector<NodeId>*>> spilled;
+      bs.spilled.clear();
       for (std::size_t s = 0; s < shards; ++s) {
         for (const auto& [slot, members] : bs.edit_workspaces[s].spills) {
-          spilled.emplace_back(slot, &members);
+          bs.spilled.emplace_back(slot, &members);
         }
       }
-      std::sort(spilled.begin(), spilled.end(),
+      std::sort(bs.spilled.begin(), bs.spilled.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      combined.stage2_spills = spilled.size();
-      for (const auto& [slot, members] : spilled) {
+      combined.stage2_spills = bs.spilled.size();
+      for (const auto& [slot, members] : bs.spilled) {
         state_.commit_spilled_members(slot, *members);
       }
       for (std::size_t s = 0; s < shards; ++s) {
@@ -1140,7 +1318,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     // Fenwick mirror in one O(k)-bounded pass, reconcile the placed-node
     // count, then run the deferred splits/merges on every cluster whose
     // size changed, in first-touch order.
-    std::vector<std::pair<std::size_t, std::int64_t>> all_deltas;
+    std::vector<std::pair<std::size_t, std::int64_t>>& all_deltas =
+        bs.all_deltas;
+    all_deltas.clear();
     for (std::size_t s = 0; s < shards; ++s) {
       all_deltas.insert(all_deltas.end(), bs.delta_scratch[s].begin(),
                         bs.delta_scratch[s].end());
@@ -1152,7 +1332,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     // linear scan — an order that must therefore be shard-count
     // independent. Slots are unique per batch (one owner each).
     std::sort(all_deltas.begin(), all_deltas.end());
-    state_.apply_size_deltas(all_deltas);
+    state_.apply_size_deltas(all_deltas, pooled ? &pool : nullptr, shards);
     state_.adjust_placed_count(static_cast<std::int64_t>(joins) -
                                static_cast<std::int64_t>(leaves.size()));
     for (const ClusterId c : candidates) {
@@ -1191,24 +1371,19 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
       cache.maybe_rebuild_alias();
     }
+    combined.stage2_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - stage2_start)
+            .count());
   }
   combined.commit_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - commit_start)
           .count());
 
-  // Reset the per-batch slot markers so the next batch starts clean
-  // without O(slot_count) clears.
-  for (const PlannedWave& wave : bs.primaries) {
-    bs.wave_of_slot[wave.slot] = kNoWave;
-  }
-  for (const PlannedWave& wave : bs.secondaries) {
-    bs.wave_of_slot[wave.slot] = kNoWave;
-  }
-  for (const std::uint32_t slot : bs.leaver_slots) {
-    bs.leavers_by_slot[slot].clear();
-  }
-  bs.leaver_slots.clear();
+  // No per-batch scratch reset: the slot arrays (wave_of_slot,
+  // leavers_by_slot, candidate marks) are epoch-stamped, so the next
+  // batch's ++slot_epoch makes this batch's content invisible for free.
 
   combined.cost = scope.cost();
   // Planned operations and waves overlap in time (max within each tier);

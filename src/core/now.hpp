@@ -102,6 +102,21 @@ struct OpReport {
   /// (resolve + stage-1 parallel apply + stage-2 merge and restructuring)
   /// — the quantity BENCH_micro.json tracks as commit_ns.
   std::uint64_t commit_ns = 0;
+  /// Sharded batches only: wall-clock nanoseconds of the plan phase
+  /// (partition + per-op planning + both wave tiers + metrics merge).
+  /// plan_ns + commit_ns covers the batch except for trace/setup glue;
+  /// resolve/stage1/stage2 below partition commit_ns.
+  std::uint64_t plan_ns = 0;
+  /// Sharded batches only: wall-clock nanoseconds of the commit's resolve
+  /// passes (sequential op edits + swap fate classification/replay).
+  std::uint64_t resolve_ns = 0;
+  /// Sharded batches only: wall-clock nanoseconds of the stage-1 parallel
+  /// gather/scatter member-edit apply.
+  std::uint64_t stage1_ns = 0;
+  /// Sharded batches only: wall-clock nanoseconds of stage 2 (spill
+  /// re-homing, Fenwick delta merge, deferred splits/merges, compaction
+  /// check and cache maintenance).
+  std::uint64_t stage2_ns = 0;
 };
 
 /// Opaque per-system batch-engine state (src/core/now.cpp): the persistent
@@ -256,6 +271,22 @@ class NowSystem {
   /// Attaches (or detaches, with nullptr) a scenario-event observer. The
   /// sink outlives every subsequent operation until detached.
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Resident bytes of the deterministic state plus the persistent batch
+  /// scratch (capacities, not sizes — what the process actually holds).
+  /// Feeds the bytes_per_node scalar BENCH_micro.json records for the
+  /// huge-batch tier.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Capacity of the optimistic commit's footprint array — a probe for the
+  /// allocation-regression test: it must track the slab tail geometrically
+  /// (amortized O(1) growth), never per-batch O(tail) work.
+  [[nodiscard]] std::size_t debug_foot_capacity() const;
+
+  /// Verifies the persistent PlanCache against a from-scratch rebuild
+  /// (sizes, neighborhoods, alias-overlay totals). For the nightly
+  /// large-n stress; O(k).
+  [[nodiscard]] bool plan_cache_consistent() const;
 
  private:
   /// Places an existing node into the partition via Algorithm 1 (used by

@@ -138,6 +138,20 @@ struct PlanCache {
   /// incremental maintenance on every batched test.
   [[nodiscard]] bool consistent_with(const NowState& state) const;
 
+  /// Resident bytes of all dense tables and the alias sampler (capacities).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return id_by_index.capacity() * sizeof(ClusterId) +
+           cluster_by_index.capacity() * sizeof(cluster_by_index[0]) +
+           (neighborhood_by_index.capacity() +
+            neighborhood_by_slot.capacity() + alias_threshold.capacity() +
+            table_weight.capacity() + current_weight.capacity()) *
+               sizeof(std::uint64_t) +
+           (index_by_slot.capacity() + slot_by_index.capacity() +
+            alias_index.capacity() + dirty_list.capacity()) *
+               sizeof(std::uint32_t) +
+           dirty_flag.capacity();
+  }
+
  private:
   /// Vose construction over the already-set table_weight / table_total
   /// (shared by rebuild_alias and restore_alias).

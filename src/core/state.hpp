@@ -56,6 +56,7 @@
 #include "common/node_set.hpp"
 #include "common/paged_index.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "over/overlay.hpp"
 
@@ -200,6 +201,11 @@ class NowState {
     return home_of(node).valid();
   }
 
+  /// Hints the cache that `node`'s home entry is about to be read — the
+  /// batch partition and resolve sweeps issue this one op ahead so the
+  /// paged-index line is in flight while the current op is processed.
+  void prefetch_home(NodeId node) const { node_home_.prefetch(node.value()); }
+
   /// Deliberately mis-points a node's home entry without touching cluster
   /// membership — invariant tests use this to fabricate broken bookkeeping.
   void corrupt_home_for_test(NodeId node, ClusterId wrong) {
@@ -333,8 +339,12 @@ class NowState {
   /// Stage 2: folds the per-shard signed size deltas into the Fenwick
   /// mirror (slots must be live; a slot appears at most once per call since
   /// each slot is owned by exactly one shard).
+  /// When `pool` is non-null the rebuild branch (delta count ~ slot count)
+  /// runs the blocked shard-parallel Fenwick build — bit-identical to the
+  /// sequential one (see FenwickTree::apply_deltas).
   void apply_size_deltas(
-      std::span<const std::pair<std::size_t, std::int64_t>> deltas) {
+      std::span<const std::pair<std::size_t, std::int64_t>> deltas,
+      ThreadPool* pool = nullptr, std::size_t blocks = 1) {
 #ifndef NDEBUG
     for (const auto& [slot, delta] : deltas) {
       assert(slot < slots_.size() && slots_[slot].has_value());
@@ -342,7 +352,7 @@ class NowState {
              static_cast<std::int64_t>(slots_[slot]->size()));
     }
 #endif
-    sizes_.apply_deltas(deltas);
+    sizes_.apply_deltas(deltas, pool, blocks);
   }
 
   /// Stage 2: reconciles the placed-node count with the batch's net
@@ -429,6 +439,20 @@ class NowState {
   /// Total number of nodes that are Byzantine.
   [[nodiscard]] std::size_t byzantine_total() const {
     return byzantine.size();
+  }
+
+  /// Resident bytes of the deterministic state: slot table, live/free
+  /// lists, both paged indices, the Fenwick mirror, the membership slab
+  /// and the node registries. Capacities, not sizes — this is what the
+  /// process holds, the quantity the bytes_per_node bench scalar tracks.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return slots_.capacity() * sizeof(slots_[0]) +
+           live_pos_.capacity() * sizeof(std::uint32_t) +
+           free_slots_.capacity() * sizeof(std::uint32_t) +
+           live_ids_.capacity() * sizeof(ClusterId) +
+           cluster_slot_.footprint_bytes() + sizes_.footprint_bytes() +
+           slab_->footprint_bytes() + node_home_.footprint_bytes() +
+           live_.footprint_bytes() + byzantine.footprint_bytes();
   }
 
  private:

@@ -190,6 +190,51 @@ TEST(RngTest, DeriveStreamSeparatesNearbyTriples) {
   }
 }
 
+TEST(RngTest, DeriveStreamsMatchesIndividualDerivesByteExactly) {
+  // The bulk kernel must be indistinguishable from N individual
+  // derive_stream calls — the batch engine's bit-identity contract rides
+  // on it. Compare raw 256-bit states, not just draws.
+  const std::uint64_t seeds[] = {0, 1, 42, 0xDEADBEEFCAFEF00DULL};
+  const std::uint64_t streams[] = {0, 1, 17, ~std::uint64_t{0} - 3};
+  const std::uint64_t firsts[] = {0, 1, 1000, ~std::uint64_t{0} - 5};
+  for (const auto seed : seeds) {
+    for (const auto stream : streams) {
+      for (const auto first : firsts) {
+        constexpr std::size_t kCount = 9;
+        std::vector<Rng> bulk(kCount, Rng{0});
+        Rng::derive_streams(seed, stream, first, kCount, bulk.data());
+        for (std::size_t i = 0; i < kCount; ++i) {
+          const Rng one = Rng::derive_stream(seed, stream, first + i);
+          EXPECT_EQ(bulk[i].state(), one.state())
+              << "seed=" << seed << " stream=" << stream
+              << " substream=" << first + i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RngTest, DeriveStreamsAcrossBatchBoundary) {
+  // Two bulk calls for consecutive batches (streams) must each match their
+  // own per-call derivations: the hoisted prefix is per-(seed, stream).
+  constexpr std::uint64_t kSeed = 777;
+  constexpr std::size_t kOps = 33;
+  for (std::uint64_t batch = 0; batch < 4; ++batch) {
+    std::vector<Rng> bulk(kOps, Rng{0});
+    Rng::derive_streams(kSeed, batch, 0, kOps, bulk.data());
+    for (std::size_t i = 0; i < kOps; ++i) {
+      EXPECT_EQ(bulk[i].state(), Rng::derive_stream(kSeed, batch, i).state());
+    }
+  }
+}
+
+TEST(RngTest, DeriveStreamsZeroCountIsANoOp) {
+  Rng canary{123};
+  const auto before = canary.state();
+  Rng::derive_streams(5, 6, 7, 0, &canary);
+  EXPECT_EQ(canary.state(), before);
+}
+
 TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
   std::uint64_t s1 = 0;
   std::uint64_t s2 = 0;
