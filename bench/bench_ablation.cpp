@@ -30,7 +30,7 @@ void ablate_rand_num_mode(bench::JsonEmitter& json) {
     core::NowSystem system{params, metrics, 5};
     system.initialize(1000, 150, core::InitTopology::kModeledSparse);
     for (int i = 0; i < 15; ++i) system.join(false);
-    const auto joins = metrics.operation_samples("join");
+    const auto joins = metrics.operation_samples(metrics.find("join"));
     table.add_row(
         {mode == cluster::RandNumMode::kFast ? "fast" : "robust",
          sim::Table::fmt(cluster::rand_num_cost_model(33, mode).messages),
@@ -69,12 +69,12 @@ void ablate_merge_policy(bench::JsonEmitter& json) {
     table.add_row(
         {name, sim::Table::fmt(std::uint64_t{result.total_merges}),
          sim::Table::fmt(
-             bench::mean_messages(metrics.operation_samples("merge")), 0),
+             bench::mean_messages(metrics.operation_samples(metrics.find("merge"))), 0),
          sim::Table::fmt(result.peak_byz_fraction, 3),
          result.ever_compromised ? "YES" : "no"});
     json.add(std::string("merge[") + name + "]", 1 << 12,
-             bench::mean_messages(metrics.operation_samples("merge")),
-             bench::mean_rounds(metrics.operation_samples("merge")), 0.0);
+             bench::mean_messages(metrics.operation_samples(metrics.find("merge"))),
+             bench::mean_rounds(metrics.operation_samples(metrics.find("merge"))), 0.0);
     json.add_scalar(std::string("peak_pC[merge=") + name + "]", 1 << 12,
                     result.peak_byz_fraction);
   }

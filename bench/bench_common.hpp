@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -127,14 +128,14 @@ inline void record_verdict(JsonEmitter& json, bool holds,
 }
 
 /// Mean over samples of the message field.
-inline double mean_messages(const std::vector<Cost>& samples) {
+inline double mean_messages(std::span<const Cost> samples) {
   if (samples.empty()) return 0.0;
   double total = 0;
   for (const auto& c : samples) total += static_cast<double>(c.messages);
   return total / static_cast<double>(samples.size());
 }
 
-inline double mean_rounds(const std::vector<Cost>& samples) {
+inline double mean_rounds(std::span<const Cost> samples) {
   if (samples.empty()) return 0.0;
   double total = 0;
   for (const auto& c : samples) total += static_cast<double>(c.rounds);

@@ -117,7 +117,7 @@ void run(const std::vector<std::size_t>& shard_axis) {
     }
 
     for (const std::string op : {"join", "leave", "split", "merge"}) {
-      const auto samples = metrics.operation_samples(op);
+      const auto samples = metrics.operation_samples(metrics.find(op));
       if (samples.empty()) continue;
       std::vector<double> msgs;
       for (const auto& c : samples) {
@@ -138,11 +138,11 @@ void run(const std::vector<std::size_t>& shard_axis) {
     }
     sweep_n.push_back(static_cast<double>(N));
     join_cost.push_back(
-        bench::mean_messages(metrics.operation_samples("join")));
+        bench::mean_messages(metrics.operation_samples(metrics.find("join"))));
     leave_cost.push_back(
-        bench::mean_messages(metrics.operation_samples("leave")));
+        bench::mean_messages(metrics.operation_samples(metrics.find("leave"))));
     leave_rounds.push_back(
-        bench::mean_rounds(metrics.operation_samples("leave")));
+        bench::mean_rounds(metrics.operation_samples(metrics.find("leave"))));
   }
   table.print(std::cout);
 

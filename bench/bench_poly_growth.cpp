@@ -100,8 +100,8 @@ void run() {
   std::cout << "baseline join-cost blow-up across the ramp: x"
             << sim::Table::fmt(blowup, 1) << "\n";
   json.add("join[now]", N,
-           bench::mean_messages(metrics.operation_samples("join")),
-           bench::mean_rounds(metrics.operation_samples("join")), 0.0);
+           bench::mean_messages(metrics.operation_samples(metrics.find("join"))),
+           bench::mean_rounds(metrics.operation_samples(metrics.find("join"))), 0.0);
   json.add("join[static-baseline,final]", N,
            static_cast<double>(last_join_big), 0.0, 0.0);
   json.add_scalar("peak_pC", N, result.peak_byz_fraction);

@@ -52,8 +52,8 @@ void run() {
             : static_cast<double>(config.steps) /
                   static_cast<double>(restructures);
     const double mean_op =
-        (bench::mean_messages(metrics.operation_samples("join")) +
-         bench::mean_messages(metrics.operation_samples("leave"))) /
+        (bench::mean_messages(metrics.operation_samples(metrics.find("join"))) +
+         bench::mean_messages(metrics.operation_samples(metrics.find("leave")))) /
         2.0;
     table.add_row({sim::Table::fmt(l, 1),
                    sim::Table::fmt(std::uint64_t{config.steps}),

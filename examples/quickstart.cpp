@@ -67,8 +67,10 @@ int main() {
   for (const auto& label : metrics.labels()) {
     costs.add_row({label,
                    sim::Table::fmt(
-                       std::uint64_t{metrics.operation_count(label)}),
-                   sim::Table::fmt(metrics.operation_total(label).messages)});
+                       std::uint64_t{metrics.operation_count(
+                           metrics.find(label))}),
+                   sim::Table::fmt(
+                       metrics.operation_total(metrics.find(label)).messages)});
   }
   costs.print(std::cout);
   std::ofstream csv("EXAMPLE_quickstart.csv");

@@ -9,10 +9,12 @@
 //   * communication cost O(n * e), worst case O(n^3) = O(N^{3/2}) at
 //     n = sqrt(N) on dense topologies (Figure 1).
 //
-// Implemented directly over the topology graph with delta-gossip (each round
-// a node forwards only identities it learned last round — each id crosses
-// each edge at most once per direction, giving the O(n * e) bound). Unit
-// cost: one message unit per identity transferred.
+// Implemented as delta-gossip actors on net::RoundEngine (each round a node
+// forwards only identities it learned last round — each id crosses each
+// edge at most once per direction, giving the O(n * e) bound). Unit cost:
+// one message unit per identity transferred; the charged message/round
+// totals are bit-identical to the historical direct-loop implementation
+// (tests/agreement/discovery_test.cpp pins golden values).
 #pragma once
 
 #include <cstdint>

@@ -8,14 +8,17 @@
 #include <utility>
 
 #include "net/network.hpp"
+#include "net/transport.hpp"
 
 namespace now::agreement {
 
 namespace {
 
+using net::make_words;
 using net::Message;
 using net::Outbox;
 using net::Tag;
+using net::word;
 
 std::size_t max_faults(std::size_t n) { return n == 0 ? 0 : (n - 1) / 3; }
 
@@ -60,13 +63,13 @@ class HonestKingActor final : public net::Actor {
           bool king_seen = false;
           for (const auto& m : inbox) {
             if (m.tag == Tag::kKing && m.from == king) {
-              king_value = m.payload.at(0);
+              king_value = word(m.payload, 0);
               king_seen = true;
             }
           }
           if (proposals_seen_ < n_ - f_ && king_seen) x_ = king_value;
         }
-        if (phase < phases) out.multicast(peers_, Tag::kValue, {x_});
+        if (phase < phases) out.multicast(peers_, Tag::kValue, make_words({x_}));
         break;
       }
       case 1: {
@@ -75,7 +78,7 @@ class HonestKingActor final : public net::Actor {
         // n - f threshold, if any. At most one value can.
         std::map<NodeId, std::uint64_t> votes;
         for (const auto& m : inbox)
-          if (m.tag == Tag::kValue) votes[m.from] = m.payload.at(0);
+          if (m.tag == Tag::kValue) votes[m.from] = word(m.payload, 0);
         std::map<std::uint64_t, std::size_t> counts;
         counts[x_] += 1;
         for (const auto& [from, value] : votes) counts[value] += 1;
@@ -86,7 +89,7 @@ class HonestKingActor final : public net::Actor {
             break;
           }
         }
-        if (proposed_) out.multicast(peers_, Tag::kPropose, {*proposed_});
+        if (proposed_) out.multicast(peers_, Tag::kPropose, make_words({*proposed_}));
         break;
       }
       case 2: {
@@ -99,7 +102,7 @@ class HonestKingActor final : public net::Actor {
         // an honest king's phase.
         std::map<NodeId, std::uint64_t> votes;
         for (const auto& m : inbox)
-          if (m.tag == Tag::kPropose) votes[m.from] = m.payload.at(0);
+          if (m.tag == Tag::kPropose) votes[m.from] = word(m.payload, 0);
         std::map<std::uint64_t, std::size_t> counts;
         if (proposed_) counts[*proposed_] += 1;
         for (const auto& [from, value] : votes) counts[value] += 1;
@@ -112,7 +115,7 @@ class HonestKingActor final : public net::Actor {
         const auto support = counts.find(x_);
         proposals_seen_ = support == counts.end() ? 0 : support->second;
         if (members_[phase % n_] == self_) {
-          out.multicast(peers_, Tag::kKing, {x_});
+          out.multicast(peers_, Tag::kKing, make_words({x_}));
         }
         break;
       }
@@ -159,17 +162,17 @@ class ByzantineKingActor final : public net::Actor {
     switch (behavior_) {
       case ByzBehavior::kRandomLies: {
         const std::uint64_t v = rng_.uniform(8);
-        out.multicast(peers_, tag, {v});
+        out.multicast(peers_, tag, make_words({v}));
         break;
       }
       case ByzBehavior::kEquivocate: {
         for (const NodeId peer : peers_) {
-          out.send(peer, tag, {rng_.uniform(8)});
+          out.send(peer, tag, make_words({rng_.uniform(8)}));
         }
         break;
       }
       case ByzBehavior::kCollude: {
-        out.multicast(peers_, tag, {kColludeValue});
+        out.multicast(peers_, tag, make_words({kColludeValue}));
         break;
       }
       case ByzBehavior::kSilent:
@@ -200,7 +203,8 @@ PhaseKingResult run_phase_king(std::span<const NodeId> members,
 
   const std::uint64_t messages_before = metrics.total().messages;
 
-  net::SyncNetwork network{metrics};
+  net::InProcTransport transport;
+  net::RoundEngine network{metrics, transport};
   std::vector<std::pair<NodeId, const HonestKingActor*>> honest;
   for (const NodeId id : sorted) {
     if (byzantine.contains(id)) {

@@ -14,10 +14,10 @@
 // proposals never conflict; any phase with an honest king ends in agreement,
 // and agreement persists.
 //
-// The message-level implementation runs on net::SyncNetwork with injectable
-// Byzantine behaviors; `phase_king_cost_bound` gives the closed-form cost the
-// bulk-accounting path charges, and tests assert the measured cost never
-// exceeds it.
+// The message-level implementation runs on net::RoundEngine over an
+// InProcTransport with injectable Byzantine behaviors;
+// `phase_king_cost_bound` gives the closed-form cost the bulk-accounting
+// path charges, and tests assert the measured cost never exceeds it.
 #pragma once
 
 #include <cstdint>

@@ -26,23 +26,25 @@ OperationId Metrics::intern(std::string_view label) {
   return id;
 }
 
-const std::vector<Cost>* Metrics::samples_of(std::string_view label) const {
+OperationId Metrics::find(std::string_view label) const {
   const auto it = id_by_label_.find(label);
-  if (it == id_by_label_.end()) return nullptr;
-  return &completed_[it->second];
+  return it == id_by_label_.end() ? kNoOperation : it->second;
 }
 
-Cost Metrics::operation_total(std::string_view label) const {
+Cost Metrics::operation_total(OperationId id) const {
   Cost sum;
-  if (const auto* samples = samples_of(label)) {
-    for (const auto& cost : *samples) sum += cost;
-  }
+  for (const auto& cost : operation_samples(id)) sum += cost;
   return sum;
 }
 
-std::vector<Cost> Metrics::operation_samples(std::string_view label) const {
-  if (const auto* samples = samples_of(label)) return *samples;
-  return {};
+std::span<const Cost> Metrics::operation_samples(OperationId id) const {
+  if (id >= completed_.size()) return {};
+  return completed_[id];
+}
+
+std::string_view Metrics::label_of(OperationId id) const {
+  if (id >= label_by_id_.size()) return {};
+  return label_by_id_[id];
 }
 
 std::vector<std::string> Metrics::labels() const {
@@ -54,9 +56,8 @@ std::vector<std::string> Metrics::labels() const {
   return result;
 }
 
-std::size_t Metrics::operation_count(std::string_view label) const {
-  const auto* samples = samples_of(label);
-  return samples == nullptr ? 0 : samples->size();
+std::size_t Metrics::operation_count(OperationId id) const {
+  return operation_samples(id).size();
 }
 
 void Metrics::merge(const Metrics& other) {

@@ -13,11 +13,13 @@
 //
 // Operation labels are interned: the first time a label is seen it is mapped
 // to a small dense OperationId; every subsequent scope open/close and sample
-// append works on the integer id. The string-keyed query API remains as a
-// thin shim over the id-indexed storage.
+// append works on the integer id. Queries are id-keyed too — call sites
+// intern (or find()) a label once and hold the id; the PR-1 string-keyed
+// query shim is gone.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +44,11 @@ struct Cost {
 /// Dense id of an interned operation label.
 using OperationId = std::uint32_t;
 
+/// Sentinel returned by Metrics::find for labels never interned. Every
+/// id-keyed query accepts it and reports "no samples", mirroring how the
+/// old string-keyed queries treated unknown labels.
+inline constexpr OperationId kNoOperation = 0xFFFFFFFFu;
+
 /// Accumulates protocol costs, globally and per named operation.
 ///
 /// Rounds compose differently from messages: sub-protocols that run
@@ -65,16 +72,21 @@ class Metrics {
   /// label on the first call per distinct string.
   OperationId intern(std::string_view label);
 
-  /// Sum of costs of all completed operations with this label.
-  [[nodiscard]] Cost operation_total(std::string_view label) const;
-  /// Costs of each completed operation with this label, in completion order.
-  [[nodiscard]] std::vector<Cost> operation_samples(
-      std::string_view label) const;
+  /// Id of `label` if it was ever interned, else kNoOperation. The const
+  /// counterpart of intern() for pure readers.
+  [[nodiscard]] OperationId find(std::string_view label) const;
+
+  /// Sum of costs of all completed operations with this id.
+  [[nodiscard]] Cost operation_total(OperationId id) const;
+  /// Costs of each completed operation with this id, in completion order.
+  /// The span is invalidated by the next completed scope, merge or reset.
+  [[nodiscard]] std::span<const Cost> operation_samples(OperationId id) const;
+  /// Number of completed operations with this id.
+  [[nodiscard]] std::size_t operation_count(OperationId id) const;
+  /// Label interned as `id` (empty for kNoOperation / out of range).
+  [[nodiscard]] std::string_view label_of(OperationId id) const;
   /// Labels with at least one completed operation, sorted.
   [[nodiscard]] std::vector<std::string> labels() const;
-
-  /// Number of completed operations with this label.
-  [[nodiscard]] std::size_t operation_count(std::string_view label) const;
 
   /// Folds another Metrics instance into this one: `other`'s total is
   /// charged through add_messages/add_rounds (so it propagates into any
@@ -101,10 +113,6 @@ class Metrics {
       return std::hash<std::string_view>{}(s);
     }
   };
-
-  /// Id of `label` if already interned, else an id with no samples.
-  [[nodiscard]] const std::vector<Cost>* samples_of(
-      std::string_view label) const;
 
   Cost total_;
   std::vector<Frame> stack_;

@@ -3,9 +3,18 @@
 // rounds. Messages are counted in unit-size pieces — a payload of w words is
 // charged as w unit messages, matching the paper's "communication cost is
 // proportional to the number of bits sent" convention.
+//
+// Payloads are raw little-endian bytes so a message can cross a real wire
+// (net/wire.hpp frames them with a version and checksum). Protocols that
+// think in 64-bit words — all of ours — use the pack_words/word helpers; the
+// unit-cost rule charges one unit per started 8-byte word, which keeps the
+// historical word-count accounting bit-identical.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -15,26 +24,79 @@ namespace now::net {
 /// Protocol-level message tags. Kept in one enum so traces are readable;
 /// individual protocols interpret payload words themselves.
 enum class Tag : std::uint16_t {
-  kValue,      // phase-king round 1 value broadcast
-  kPropose,    // phase-king round 2 proposal
-  kKing,       // phase-king round 3 king value
-  kDiscovery,  // identity-set gossip
-  kCommit,     // randNum commitment
-  kReveal,     // randNum reveal
-  kEcho,       // randNum echo of received reveals
-  kApp,        // application payload
+  kValue,        // phase-king round 1 value broadcast
+  kPropose,      // phase-king round 2 proposal
+  kKing,         // phase-king round 3 king value
+  kDiscovery,    // identity-set gossip
+  kCommit,       // randNum commitment
+  kReveal,       // randNum reveal
+  kEcho,         // randNum echo of received reveals
+  kApp,          // application payload
+  kShardDigest,  // shard runtime: per-step digest, worker -> coordinator
+  kShardGo,      // shard runtime: merged-step acknowledgement broadcast
+  kShardBye,     // shard runtime: run complete, workers may exit
 };
+
+/// Highest tag value the wire codec accepts (decode rejects unknown tags).
+inline constexpr std::uint16_t kMaxTag =
+    static_cast<std::uint16_t>(Tag::kShardBye);
+
+/// Raw message body: little-endian bytes, owned by the message.
+using Payload = std::vector<std::uint8_t>;
+
+/// Packs 64-bit words into a little-endian byte payload.
+[[nodiscard]] inline Payload pack_words(std::span<const std::uint64_t> words) {
+  Payload payload;
+  payload.reserve(words.size() * 8);
+  for (const std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  return payload;
+}
+
+/// Convenience literal form: make_words({a, b, c}).
+[[nodiscard]] inline Payload make_words(
+    std::initializer_list<std::uint64_t> words) {
+  return pack_words(std::span<const std::uint64_t>{words.begin(),
+                                                   words.end()});
+}
+
+/// Number of (whole) 64-bit words in `payload`.
+[[nodiscard]] inline std::size_t word_count(const Payload& payload) {
+  return payload.size() / 8;
+}
+
+/// Reads word `index` of a payload produced by pack_words.
+[[nodiscard]] inline std::uint64_t word(const Payload& payload,
+                                        std::size_t index) {
+  assert((index + 1) * 8 <= payload.size() && "payload word out of range");
+  std::uint64_t w = 0;
+  for (int i = 0; i < 8; ++i) {
+    w |= static_cast<std::uint64_t>(payload[index * 8 +
+                                            static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return w;
+}
 
 struct Message {
   NodeId from;
   NodeId to;
   Tag tag = Tag::kApp;
-  std::vector<std::uint64_t> payload;
+  Payload payload;
 
-  /// Unit-message cost of this message (>= 1 even for empty payloads).
+  /// Unit-message cost: one unit per started 8-byte word (>= 1 even for
+  /// empty payloads). Word-packed payloads cost exactly their word count,
+  /// preserving the pre-codec accounting.
   [[nodiscard]] std::uint64_t cost_units() const {
-    return payload.empty() ? 1 : static_cast<std::uint64_t>(payload.size());
+    return payload.empty()
+               ? 1
+               : static_cast<std::uint64_t>((payload.size() + 7) / 8);
   }
+
+  friend bool operator==(const Message&, const Message&) = default;
 };
 
 }  // namespace now::net

@@ -1,63 +1,66 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace now::net {
 
-void Outbox::send(NodeId to, Tag tag, std::vector<std::uint64_t> payload) {
+void Outbox::send(NodeId to, Tag tag, Payload payload) {
   messages_.push_back(Message{self_, to, tag, std::move(payload)});
 }
 
 void Outbox::multicast(std::span<const NodeId> to, Tag tag,
-                       const std::vector<std::uint64_t>& payload) {
+                       const Payload& payload) {
   for (const NodeId dest : to) send(dest, tag, payload);
 }
 
-void SyncNetwork::add_actor(NodeId id, std::unique_ptr<Actor> actor) {
+void RoundEngine::add_actor(NodeId id, std::unique_ptr<Actor> actor) {
   assert(actor != nullptr);
-  const bool inserted = actors_.emplace(id, std::move(actor)).second;
-  assert(inserted && "actor id already registered");
-  (void)inserted;
-  inboxes_.try_emplace(id);
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId key) { return slot.id < key; });
+  assert((it == slots_.end() || it->id != id) &&
+         "actor id already registered");
+  slots_.insert(it, Slot{id, std::move(actor), {}});
+  transport_.open_endpoint(id);
 }
 
-bool SyncNetwork::remove_actor(NodeId id) {
-  inboxes_.erase(id);
-  return actors_.erase(id) > 0;
+bool RoundEngine::remove_actor(NodeId id) {
+  transport_.close_endpoint(id);
+  const auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), id,
+      [](const Slot& slot, NodeId key) { return slot.id < key; });
+  if (it == slots_.end() || it->id != id) return false;
+  slots_.erase(it);
+  return true;
 }
 
-bool SyncNetwork::is_live(NodeId id) const { return actors_.contains(id); }
-
-void SyncNetwork::run_round() {
-  // Collect this round's output from every actor against the *previous*
-  // round's inboxes (no rushing: actors never see same-round messages).
-  std::map<NodeId, std::vector<Message>> next_inboxes;
-  for (auto& [id, inbox] : inboxes_) next_inboxes.try_emplace(id);
-
-  for (auto& [id, actor] : actors_) {
-    Outbox out{id};
-    const auto inbox_it = inboxes_.find(id);
-    const std::span<const Message> inbox =
-        inbox_it == inboxes_.end()
-            ? std::span<const Message>{}
-            : std::span<const Message>(inbox_it->second);
-    actor->on_round(round_, inbox, out);
-    for (auto& msg : out.messages_) {
+void RoundEngine::run_round() {
+  // No rushing: every inbox polled this round was sealed by the previous
+  // round's barrier; messages sent below become deliverable only after
+  // this round's end_round.
+  Outbox out{NodeId{}};
+  std::swap(out.messages_, outbox_buf_);  // recycle the buffer
+  for (Slot& slot : slots_) {
+    transport_.poll(slot.id, slot.inbox);
+    out.self_ = slot.id;
+    slot.actor->on_round(round_, slot.inbox, out);
+    for (Message& msg : out.messages_) {
+      // Charged before the transport may drop it: sends to departed nodes
+      // still cost the sender (reconfigurable channels).
       metrics_.add_messages(msg.cost_units());
-      // Sends to departed / unknown nodes vanish (reconfigurable channels).
-      if (const auto it = next_inboxes.find(msg.to); it != next_inboxes.end()) {
-        it->second.push_back(std::move(msg));
-      }
+      transport_.send(std::move(msg));
     }
+    out.messages_.clear();
   }
-
-  inboxes_ = std::move(next_inboxes);
+  std::swap(out.messages_, outbox_buf_);
+  transport_.end_round(round_);
   metrics_.add_rounds(1);
   ++round_;
 }
 
-void SyncNetwork::run_rounds(std::size_t count) {
+void RoundEngine::run_rounds(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) run_round();
 }
 

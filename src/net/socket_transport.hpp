@@ -1,0 +1,110 @@
+// Multi-process transport: length-prefixed frames over local TCP.
+//
+// Topology is a star. One process hosts the hub (SocketHub) and the others
+// connect as spokes (SocketSpoke); every data frame routes through the hub,
+// even between two endpoints of the same spoke, so the hub observes a total
+// order of each round's traffic and can reproduce the in-process delivery
+// order exactly (stable sort by sender id — see DESIGN.md §12 for the
+// bit-identity argument).
+//
+// Socket-level framing (all little-endian):  u32 length, u8 kind, body.
+// Kinds: DATA carries one net/wire.hpp frame; HELLO/WELCOME handshake a
+// spoke in (WELCOME carries the join round, non-zero for processes admitted
+// mid-run); OPEN/CLOSE replicate endpoint liveness; DONE/GO implement the
+// round barrier. End of run is protocol-level (Tag::kShardBye data), not
+// transport-level: a worker that is done simply stops calling end_round
+// and closes its socket.
+//
+// The barrier (hub end_round r): collect frames from every live spoke until
+// all have sent DONE(r), admitting new spokes and recording deaths along
+// the way; merge the round's data frames with the hub's own, stable-sorted
+// by sender; deliver local ones, forward remote ones; broadcast GO(r).
+// Spokes block in end_round until GO(r) arrives. A process that dies (EOF /
+// write failure) is excluded from the barrier, its endpoints are closed,
+// and its process id is reported via drain_dead_processes() so a control
+// loop can respawn it; the respawn reconnects and is admitted at the next
+// barrier with join_round = current + 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/transport.hpp"
+
+namespace now::net {
+
+/// Hub side: a Transport for the hub process's own actors plus the router
+/// and barrier coordinator for all spokes. Create with listen(), then
+/// accept_initial() before round 0.
+class SocketHub final : public Transport {
+ public:
+  /// Binds a listening socket on 127.0.0.1 (ephemeral port — see port()).
+  /// `expected_spokes` is the number of accept_initial() handshakes.
+  [[nodiscard]] static std::unique_ptr<SocketHub> listen(
+      std::size_t expected_spokes);
+
+  ~SocketHub() override;
+  SocketHub(const SocketHub&) = delete;
+  SocketHub& operator=(const SocketHub&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until the expected number of spokes have completed the
+  /// HELLO/WELCOME handshake (join round 0). Call before the first round.
+  void accept_initial();
+
+  // Transport interface (hub-local endpoints).
+  void open_endpoint(NodeId id) override;
+  bool close_endpoint(NodeId id) override;
+  [[nodiscard]] bool is_live(NodeId id) const override;
+  void send(Message msg) override;
+  void end_round(std::size_t round) override;
+  void poll(NodeId id, std::vector<Message>& out) override;
+
+  /// Process ids of spokes that died since the last call (EOF or write
+  /// failure observed at a barrier). Their endpoints are already closed.
+  [[nodiscard]] std::vector<std::uint64_t> drain_dead_processes();
+
+  /// Spokes currently connected and not dead.
+  [[nodiscard]] std::size_t num_live_spokes() const;
+
+ private:
+  SocketHub() = default;
+  struct Conn;
+  struct Endpoint;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+};
+
+/// Spoke side: the Transport of one worker process. All sends go to the
+/// hub; end_round blocks until the hub's GO.
+class SocketSpoke final : public Transport {
+ public:
+  /// Connects to the hub, handshakes HELLO(process_id)/WELCOME(join_round).
+  /// Blocks until the hub admits the spoke (for mid-run admission this also
+  /// replays the pre-join traffic so round join_round polls correctly).
+  [[nodiscard]] static std::unique_ptr<SocketSpoke> connect(
+      std::uint16_t port, std::uint64_t process_id);
+
+  ~SocketSpoke() override;
+  SocketSpoke(const SocketSpoke&) = delete;
+  SocketSpoke& operator=(const SocketSpoke&) = delete;
+
+  void open_endpoint(NodeId id) override;
+  bool close_endpoint(NodeId id) override;
+  [[nodiscard]] bool is_live(NodeId id) const override;
+  void send(Message msg) override;
+  void end_round(std::size_t round) override;
+  void poll(NodeId id, std::vector<Message>& out) override;
+  [[nodiscard]] std::size_t join_round() const override;
+
+ private:
+  SocketSpoke() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace now::net

@@ -1,0 +1,66 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace now::net {
+
+namespace {
+
+struct MailboxLess {
+  bool operator()(const auto& box, NodeId id) const { return box.id < id; }
+};
+
+}  // namespace
+
+InProcTransport::Mailbox* InProcTransport::find(NodeId id) {
+  const auto it = std::lower_bound(mailboxes_.begin(), mailboxes_.end(), id,
+                                   MailboxLess{});
+  return it != mailboxes_.end() && it->id == id ? &*it : nullptr;
+}
+
+const InProcTransport::Mailbox* InProcTransport::find(NodeId id) const {
+  const auto it = std::lower_bound(mailboxes_.begin(), mailboxes_.end(), id,
+                                   MailboxLess{});
+  return it != mailboxes_.end() && it->id == id ? &*it : nullptr;
+}
+
+void InProcTransport::open_endpoint(NodeId id) {
+  const auto it = std::lower_bound(mailboxes_.begin(), mailboxes_.end(), id,
+                                   MailboxLess{});
+  assert((it == mailboxes_.end() || it->id != id) &&
+         "endpoint already open");
+  mailboxes_.insert(it, Mailbox{id, {}, {}});
+}
+
+bool InProcTransport::close_endpoint(NodeId id) {
+  const auto it = std::lower_bound(mailboxes_.begin(), mailboxes_.end(), id,
+                                   MailboxLess{});
+  if (it == mailboxes_.end() || it->id != id) return false;
+  mailboxes_.erase(it);
+  return true;
+}
+
+bool InProcTransport::is_live(NodeId id) const { return find(id) != nullptr; }
+
+void InProcTransport::send(Message msg) {
+  // Sends to departed / unknown endpoints vanish (reconfigurable channels).
+  if (Mailbox* box = find(msg.to)) box->pending.push_back(std::move(msg));
+}
+
+void InProcTransport::end_round(std::size_t /*round*/) {
+  for (Mailbox& box : mailboxes_) {
+    // Unpolled leftovers are dropped; the cleared buffer is recycled as the
+    // next round's pending store.
+    box.ready.clear();
+    std::swap(box.ready, box.pending);
+  }
+}
+
+void InProcTransport::poll(NodeId id, std::vector<Message>& out) {
+  out.clear();
+  if (Mailbox* box = find(id)) std::swap(out, box->ready);
+}
+
+}  // namespace now::net

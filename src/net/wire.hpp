@@ -1,0 +1,49 @@
+// Versioned byte codec for net::Message frames (the wire format the socket
+// transport ships between shard processes).
+//
+// Frame layout (all little-endian, built on the snapshot writer primitives):
+//
+//   u8[4]  magic   "NWFR"
+//   u8     version (currently 1; decoders reject unknown versions outright,
+//                   same policy as snapshots — no cross-version migration)
+//   u16    tag
+//   u64    from
+//   u64    to
+//   u64    payload byte count
+//   u8[n]  payload bytes
+//   u64    FNV-1a-64 checksum of everything above
+//
+// decode_frame throws WireError on wrong magic, unknown version, unknown
+// tag, truncation, trailing bytes, or checksum mismatch — a frame either
+// round-trips exactly or is rejected, never misparsed. Versioning rules are
+// documented in DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace now::net {
+
+/// Thrown on any malformed, truncated or corrupt frame.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Current frame format version. Bump on ANY layout change.
+inline constexpr std::uint8_t kWireFormatVersion = 1;
+
+/// Encodes `msg` into a self-contained checksummed frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Message& msg);
+
+/// Decodes a frame produced by encode_frame. The span must contain exactly
+/// one frame (the socket transport length-prefixes frames, so boundaries
+/// are known before decoding).
+[[nodiscard]] Message decode_frame(std::span<const std::uint8_t> bytes);
+
+}  // namespace now::net

@@ -184,8 +184,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   std::size_t start_step = 0;
   std::size_t splits_offset = 0;
   std::size_t merges_offset = 0;
-  const std::size_t splits_at_entry = metrics.operation_count("split");
-  const std::size_t merges_at_entry = metrics.operation_count("merge");
+  const OperationId split_op = metrics.intern("split");
+  const OperationId merge_op = metrics.intern("merge");
+  const std::size_t splits_at_entry = metrics.operation_count(split_op);
+  const std::size_t merges_at_entry = metrics.operation_count(merge_op);
 
   if (!config.resume_from.empty()) {
     const ScenarioResume resume = load_scenario_checkpoint(
@@ -231,10 +233,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   };
   const auto finalize = [&] {
     result.total_splits = splits_offset +
-                          metrics.operation_count("split") -
+                          metrics.operation_count(split_op) -
                           splits_at_entry;
     result.total_merges = merges_offset +
-                          metrics.operation_count("merge") -
+                          metrics.operation_count(merge_op) -
                           merges_at_entry;
     result.final_nodes = system.num_nodes();
     result.final_clusters = system.num_clusters();
@@ -244,8 +246,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   const auto checkpoint_now = [&](std::size_t step) {
     save_scenario_checkpoint(
         config, adversary, system, driver_rng, result, step,
-        splits_offset + metrics.operation_count("split") - splits_at_entry,
-        merges_offset + metrics.operation_count("merge") - merges_at_entry,
+        splits_offset + metrics.operation_count(split_op) - splits_at_entry,
+        merges_offset + metrics.operation_count(merge_op) - merges_at_entry,
         config.checkpoint_path);
   };
 
@@ -296,8 +298,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       // a replay seeked here can reproduce the end summary exactly.
       recorder->record_checkpoint(
           t, system,
-          splits_offset + metrics.operation_count("split") - splits_at_entry,
-          merges_offset + metrics.operation_count("merge") - merges_at_entry,
+          splits_offset + metrics.operation_count(split_op) - splits_at_entry,
+          merges_offset + metrics.operation_count(merge_op) - merges_at_entry,
           result);
     }
     if (!config.checkpoint_path.empty()) {

@@ -158,7 +158,7 @@ struct ScenarioResult {
 
 /// Runs the scenario. The same Metrics records every operation, so callers
 /// can mine per-operation cost distributions afterwards
-/// (metrics.operation_samples("join") etc.).
+/// (metrics.operation_samples(metrics.find("join")) etc.).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
                                           adversary::Adversary& adversary,
                                           Metrics& metrics);

@@ -1,0 +1,217 @@
+// Multi-process sharded runtime (DESIGN.md §12).
+//
+// Hosts one independent NowSystem per SHARD and drives all shards in
+// lockstep time steps through a coordinator, over any net::Transport — the
+// same actor code runs single-process (InProcTransport, the reference
+// deployment) and multi-process (one worker process per shard over
+// SocketTransport). Each shard runs a fixed churn schedule (batch_ops
+// joins + as many leaves per step, victims drawn from a per-shard driver
+// stream) and after every step reports a CHAINED DIGEST of its full
+// deterministic trajectory: fnv64 over (previous digest, step, invariant
+// sample, cumulative costs, driver and system RNG states). The coordinator
+// merges per-step digests from all shards into one run digest, so two
+// deployments agree on the run digest iff every shard's whole trajectory
+// is bit-identical — the equivalence the transport layer must preserve.
+//
+// The step protocol is self-stabilizing under message faults and worker
+// crash/restore: a worker runs step s only once the coordinator has
+// acknowledged step s (GO watermark), retransmits its newest digest until
+// acknowledged, and a worker respawned from a checkpoint simply replays
+// steps from the checkpoint forward — replayed digests are bit-equal, and
+// the coordinator deduplicates (and cross-checks) repeated reports. Fault
+// free, a step costs exactly 2 rounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/now.hpp"
+#include "core/params.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/network.hpp"
+#include "net/socket_transport.hpp"
+
+namespace now::sim {
+
+/// Static description of a sharded run. All processes must be handed an
+/// identical spec (the digest covers everything the spec influences).
+struct ShardSpec {
+  std::size_t num_shards = 2;
+  std::size_t steps = 12;      // lockstep time steps per shard
+  std::size_t batch_ops = 3;   // joins (and leaves) per shard per step
+  std::size_t n0 = 48;         // initial nodes per shard
+  double byz_fraction = 0.05;  // initial Byzantine fraction per shard
+  std::uint64_t seed = 1;
+  core::NowParams params;
+
+  std::size_t checkpoint_every = 0;  // steps between checkpoints; 0 = off
+  std::string checkpoint_dir;        // required when checkpoint_every > 0
+
+  /// Barrier-round backstop; 0 derives a generous default from `steps`.
+  std::size_t round_cap = 0;
+
+  [[nodiscard]] std::size_t effective_round_cap() const {
+    return round_cap != 0 ? round_cap : 10 * steps + 200;
+  }
+};
+
+/// Per-step statistics merged across shards (sums, except min/max fields).
+struct ShardStepStats {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_clusters = 0;
+  std::uint64_t min_cluster = 0;
+  std::uint64_t max_cluster = 0;
+  std::uint64_t compromised = 0;
+  double worst_byz = 0.0;
+  std::uint64_t messages = 0;  // cumulative protocol cost, all shards
+  std::uint64_t rounds = 0;
+};
+
+struct ShardRunResult {
+  std::uint64_t run_digest = 0;
+  std::vector<std::uint64_t> step_digests;  // merged digest per step
+  std::size_t steps_completed = 0;
+  std::size_t engine_rounds = 0;  // rounds the coordinator's engine ran
+  ShardStepStats final_stats;
+};
+
+/// One shard's simulation state: a private NowSystem + metrics + churn
+/// driver, the digest chain, and checkpoint/restore.
+class ShardSim {
+ public:
+  ShardSim(const ShardSpec& spec, std::size_t shard);
+
+  /// Executes the next time step and returns the digest report payload
+  /// (the words a ShardWorkerActor sends as Tag::kShardDigest).
+  void run_step();
+
+  /// Steps completed so far.
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+
+  /// Digest report for the newest completed step (empty before step 0
+  /// completes). Layout: shard, completed, digest, num_nodes,
+  /// num_clusters, min_cluster, max_cluster, compromised,
+  /// bit_cast(worst_byz), messages, rounds.
+  [[nodiscard]] const std::vector<std::uint64_t>& report() const {
+    return report_;
+  }
+
+  /// Atomically (write + rename) checkpoints the full shard state to
+  /// `<dir>/shard_<shard>.ckpt`.
+  void save_checkpoint(const std::string& dir) const;
+
+  /// Restores a shard from save_checkpoint output. Throws
+  /// core::SnapshotError if absent/corrupt or the spec's params differ.
+  [[nodiscard]] static std::unique_ptr<ShardSim> load_checkpoint(
+      const ShardSpec& spec, std::size_t shard, const std::string& dir);
+
+ private:
+  ShardSpec spec_;
+  std::size_t shard_;
+  Metrics metrics_;
+  core::NowSystem system_;
+  Rng driver_rng_;
+  std::size_t completed_ = 0;
+  std::uint64_t digest_ = 0;
+  // Cost totals carried across checkpoint restore (metrics_ restarts at
+  // zero after a restore; the digest needs cumulative values).
+  std::uint64_t messages_base_ = 0;
+  std::uint64_t rounds_base_ = 0;
+  std::vector<std::uint64_t> report_;
+};
+
+/// Worker actor: owns one ShardSim, advances it against the coordinator's
+/// GO watermark, retransmits digests until acknowledged, optionally
+/// crashes the whole process (_exit) after a given step — the crash-
+/// recovery hook the multi-process tests and the now_shard tool use.
+class ShardWorkerActor final : public net::Actor {
+ public:
+  /// `crash_after`: if non-zero, the process calls _exit(kCrashExitCode)
+  /// immediately after completing that step count (post-checkpoint).
+  ShardWorkerActor(const ShardSpec& spec, std::unique_ptr<ShardSim> sim,
+                   std::size_t crash_after = 0);
+
+  static constexpr int kCrashExitCode = 3;
+
+  void on_round(std::size_t round, std::span<const net::Message> inbox,
+                net::Outbox& out) override;
+
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  ShardSpec spec_;
+  std::unique_ptr<ShardSim> sim_;
+  std::size_t crash_after_;
+  std::size_t go_ = 0;  // steps the coordinator has acknowledged
+  bool done_ = false;
+};
+
+/// Coordinator actor: collects digests, merges complete steps, chains the
+/// run digest, broadcasts the GO watermark each round, and ends the run
+/// with Tag::kShardBye. Throws TransportError-style failures as
+/// std::runtime_error on digest mismatch (two reports for the same
+/// (shard, step) disagreeing means determinism is broken).
+class ShardCoordinatorActor final : public net::Actor {
+ public:
+  explicit ShardCoordinatorActor(const ShardSpec& spec);
+
+  void on_round(std::size_t round, std::span<const net::Message> inbox,
+                net::Outbox& out) override;
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const ShardRunResult& result() const { return result_; }
+
+ private:
+  struct PendingStep {
+    std::vector<std::uint64_t> digest;  // per shard; 0 = missing
+    std::vector<std::vector<std::uint64_t>> report;  // per shard payload
+    std::size_t have = 0;
+  };
+
+  ShardSpec spec_;
+  std::size_t merged_ = 0;  // steps fully merged (the GO watermark)
+  bool finished_ = false;
+  bool bye_sent_ = false;
+  std::vector<PendingStep> pending_;  // indexed by step
+  ShardRunResult result_;
+};
+
+/// Fixed endpoint naming: coordinator is node 0, shard s is node s + 1.
+[[nodiscard]] inline NodeId coordinator_node() { return NodeId{0}; }
+[[nodiscard]] inline NodeId shard_node(std::size_t shard) {
+  return NodeId{shard + 1};
+}
+
+/// Runs the full sharded protocol single-process over InProcTransport
+/// (optionally under a FaultyTransport with `faults`). The reference
+/// deployment every multi-process run must reproduce bit-exactly.
+[[nodiscard]] ShardRunResult run_single_process(
+    const ShardSpec& spec, const net::FaultPlan* faults = nullptr,
+    std::uint64_t fault_seed = 0);
+
+/// Drives one worker process's engine over `transport` until the
+/// coordinator ends the run. Resumes from a checkpoint when one exists
+/// (crash recovery); `crash_after` forwards to ShardWorkerActor.
+void run_worker(const ShardSpec& spec, std::size_t shard,
+                net::Transport& transport, std::size_t crash_after = 0);
+
+/// Drives the coordinator's engine over `transport` in the hub process of
+/// a multi-process run, until the run completes AND every worker process
+/// disconnected (the coordinator re-broadcasts the end-of-run notice until
+/// then, which makes termination robust to faulted messages). `hub` is the
+/// underlying socket hub (`transport` may be a fault decorator over it);
+/// `between_rounds` runs after every round with the coordinator's
+/// finished flag — the now_shard tool uses it to reap and respawn crashed
+/// workers (and to NOT respawn on orderly end-of-run exits).
+[[nodiscard]] ShardRunResult run_hub(
+    const ShardSpec& spec, net::Transport& transport, net::SocketHub& hub,
+    const std::function<void(bool finished)>& between_rounds = {});
+
+}  // namespace now::sim

@@ -463,8 +463,8 @@ TraceReplayResult replay_trace(const std::string& path,
               "live state diverged from the embedded checkpoint snapshot");
           break;
         }
-        if (splits_base + metrics.operation_count("split") != ck_splits ||
-            merges_base + metrics.operation_count("merge") != ck_merges ||
+        if (splits_base + metrics.operation_count(metrics.find("split")) != ck_splits ||
+            merges_base + metrics.operation_count(metrics.find("merge")) != ck_merges ||
             replay.result.peak_byz_fraction != ck_peak ||
             replay.result.ever_compromised != ck_ever ||
             replay.result.first_compromise_step != ck_first) {
@@ -479,9 +479,9 @@ TraceReplayResult replay_trace(const std::string& path,
         const ScenarioResult recorded = read_summary(reader);
         saw_end = true;
         replay.result.total_splits =
-            splits_base + metrics.operation_count("split");
+            splits_base + metrics.operation_count(metrics.find("split"));
         replay.result.total_merges =
-            merges_base + metrics.operation_count("merge");
+            merges_base + metrics.operation_count(metrics.find("merge"));
         replay.result.final_nodes = system.num_nodes();
         replay.result.final_clusters = system.num_clusters();
         replay.result.final_byzantine = system.state().byzantine_total();

@@ -91,6 +91,30 @@ TEST(DiscoveryTest, CostIsBoundedByNTimesEdges) {
   EXPECT_EQ(metrics.total().messages, result.messages);
 }
 
+TEST(DiscoveryTest, GoldenCostParityAcrossTransportRefactor) {
+  // Exact (messages, rounds) pinned from the pre-Transport monolithic
+  // simulator; the engine rounds mapping (engine runs charged rounds + 2)
+  // is part of the contract these pins guard.
+  {
+    Metrics metrics;
+    const auto result = run_discovery(path_topology(12), {}, metrics);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.messages, 264u);
+    EXPECT_EQ(result.rounds, 10u);
+  }
+  {
+    Metrics metrics;
+    graph::Graph topo;
+    Rng rng{2};
+    std::vector<graph::Vertex> verts{0, 1, 2, 3, 4, 5, 6, 7, 8};
+    graph::generate_erdos_renyi(topo, verts, 0.5, rng);
+    const auto result = run_discovery(topo, {NodeId{3}}, metrics);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.messages, 261u);
+    EXPECT_EQ(result.rounds, 1u);
+  }
+}
+
 TEST(DiscoveryTest, DenserTopologyCostsMore) {
   Metrics sparse_metrics;
   Metrics dense_metrics;

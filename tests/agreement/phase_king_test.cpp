@@ -124,6 +124,45 @@ INSTANTIATE_TEST_SUITE_P(
         AdversarialCase{13, ByzBehavior::kRandomLies},
         AdversarialCase{13, ByzBehavior::kEquivocate}));
 
+TEST(PhaseKingTest, GoldenCostParityAcrossTransportRefactor) {
+  // Exact (messages, rounds) pinned from the pre-Transport monolithic
+  // simulator: the RoundEngine + InProcTransport split must keep the
+  // message-level protocols bit-identical, costs included.
+  struct Golden {
+    std::size_t n;
+    std::uint64_t messages;
+    std::uint64_t rounds;
+  };
+  for (const Golden g :
+       {Golden{4, 54, 7}, Golden{7, 270, 10}, Golden{13, 1620, 16}}) {
+    Metrics metrics;
+    Rng rng{1};
+    const auto members = make_members(g.n);
+    std::map<NodeId, std::uint64_t> inputs;
+    for (const NodeId m : members) inputs[m] = 4;
+    const auto result = run_phase_king(members, {}, inputs,
+                                       ByzBehavior::kSilent, metrics, rng);
+    EXPECT_EQ(result.messages, g.messages) << "n=" << g.n;
+    EXPECT_EQ(result.rounds, g.rounds) << "n=" << g.n;
+    EXPECT_EQ(metrics.total().messages, g.messages) << "n=" << g.n;
+  }
+}
+
+TEST(PhaseKingTest, GoldenCostParityUnderEquivocation) {
+  // Adversarial golden pin: Byzantine send patterns (and the RNG draws
+  // behind them) must also survive the transport refactor bit-exactly.
+  Metrics metrics;
+  Rng rng{7};
+  const auto members = make_members(10);
+  const NodeSet byz{NodeId{7}, NodeId{8}, NodeId{9}};
+  std::map<NodeId, std::uint64_t> inputs;
+  for (const NodeId m : members) inputs[m] = 1;
+  const auto result = run_phase_king(members, byz, inputs,
+                                     ByzBehavior::kEquivocate, metrics, rng);
+  EXPECT_EQ(result.messages, 891u);
+  EXPECT_EQ(result.rounds, 13u);
+}
+
 TEST(PhaseKingTest, CostBoundGrowsCubically) {
   // 3(f+1)+1 rounds of n(n-1) messages with f ~ n/3 -> Theta(n^3).
   const Cost c100 = phase_king_cost_bound(100);

@@ -101,11 +101,11 @@ TEST(KeyValueTest, CostsAreChargedPerOperation) {
   KeyValueService kv{system};
   kv.put(1, 1);
   kv.get(1);
-  EXPECT_EQ(metrics.operation_count("kv.put"), 1u);
-  EXPECT_EQ(metrics.operation_count("kv.get"), 1u);
-  EXPECT_GT(metrics.operation_total("kv.put").messages, 0u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("kv.put")), 1u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("kv.get")), 1u);
+  EXPECT_GT(metrics.operation_total(metrics.find("kv.put")).messages, 0u);
   // Routing costs are polylog-sized: far below n^2.
-  EXPECT_LT(metrics.operation_total("kv.get").messages,
+  EXPECT_LT(metrics.operation_total(metrics.find("kv.get")).messages,
             static_cast<std::uint64_t>(500) * 500);
 }
 

@@ -23,9 +23,9 @@ TEST(MetricsTest, ScopeAttributesCosts) {
     EXPECT_EQ(scope.cost().messages, 7u);
     EXPECT_EQ(scope.cost().rounds, 3u);
   }
-  EXPECT_EQ(m.operation_count("join"), 1u);
-  EXPECT_EQ(m.operation_total("join").messages, 7u);
-  EXPECT_EQ(m.operation_total("join").rounds, 3u);
+  EXPECT_EQ(m.operation_count(m.find("join")), 1u);
+  EXPECT_EQ(m.operation_total(m.find("join")).messages, 7u);
+  EXPECT_EQ(m.operation_total(m.find("join")).rounds, 3u);
 }
 
 TEST(MetricsTest, NestedScopesChargeAncestors) {
@@ -39,8 +39,8 @@ TEST(MetricsTest, NestedScopesChargeAncestors) {
     }
     EXPECT_EQ(outer.cost().messages, 11u);
   }
-  EXPECT_EQ(m.operation_total("leave").messages, 11u);
-  EXPECT_EQ(m.operation_total("exchange").messages, 10u);
+  EXPECT_EQ(m.operation_total(m.find("leave")).messages, 11u);
+  EXPECT_EQ(m.operation_total(m.find("exchange")).messages, 10u);
   EXPECT_EQ(m.total().messages, 11u);  // global total counted once
 }
 
@@ -50,7 +50,7 @@ TEST(MetricsTest, SamplesKeepPerOperationCosts) {
     OpScope scope(m, "op");
     m.add_messages(static_cast<std::uint64_t>(i));
   }
-  const auto samples = m.operation_samples("op");
+  const auto samples = m.operation_samples(m.find("op"));
   ASSERT_EQ(samples.size(), 3u);
   EXPECT_EQ(samples[0].messages, 1u);
   EXPECT_EQ(samples[1].messages, 2u);
@@ -59,9 +59,9 @@ TEST(MetricsTest, SamplesKeepPerOperationCosts) {
 
 TEST(MetricsTest, UnknownLabelIsEmpty) {
   Metrics m;
-  EXPECT_EQ(m.operation_count("nope"), 0u);
-  EXPECT_EQ(m.operation_total("nope"), Cost{});
-  EXPECT_TRUE(m.operation_samples("nope").empty());
+  EXPECT_EQ(m.operation_count(m.find("nope")), 0u);
+  EXPECT_EQ(m.operation_total(m.find("nope")), Cost{});
+  EXPECT_TRUE(m.operation_samples(m.find("nope")).empty());
 }
 
 TEST(MetricsTest, LabelsAreSorted) {
@@ -79,7 +79,20 @@ TEST(MetricsTest, ResetClearsEverything) {
   { OpScope s(m, "x"); m.add_messages(4); }
   m.reset();
   EXPECT_EQ(m.total().messages, 0u);
-  EXPECT_EQ(m.operation_count("x"), 0u);
+  EXPECT_EQ(m.operation_count(m.find("x")), 0u);
+}
+
+TEST(MetricsInternTest, FindResolvesInternedLabelsOnly) {
+  Metrics m;
+  const OperationId join = m.intern("join");
+  EXPECT_EQ(m.find("join"), join);
+  EXPECT_EQ(m.find("never-interned"), kNoOperation);
+  EXPECT_EQ(m.label_of(join), "join");
+  EXPECT_EQ(m.label_of(kNoOperation), "");
+  // The sentinel routes through every accessor as "no such operation".
+  EXPECT_EQ(m.operation_count(kNoOperation), 0u);
+  EXPECT_EQ(m.operation_total(kNoOperation), Cost{});
+  EXPECT_TRUE(m.operation_samples(kNoOperation).empty());
 }
 
 TEST(MetricsInternTest, SameLabelAlwaysGetsSameId) {
@@ -116,11 +129,11 @@ TEST(MetricsInternTest, DeeplyNestedScopesAttributeToEveryAncestor) {
     }
     EXPECT_EQ(join.cost().messages, 211u);
   }
-  EXPECT_EQ(m.operation_count("randcl"), 2u);
-  EXPECT_EQ(m.operation_total("randcl").messages, 200u);
-  EXPECT_EQ(m.operation_total("exchange").messages, 210u);
-  EXPECT_EQ(m.operation_total("join").messages, 211u);
-  EXPECT_EQ(m.operation_total("join").rounds, 2u);
+  EXPECT_EQ(m.operation_count(m.find("randcl")), 2u);
+  EXPECT_EQ(m.operation_total(m.find("randcl")).messages, 200u);
+  EXPECT_EQ(m.operation_total(m.find("exchange")).messages, 210u);
+  EXPECT_EQ(m.operation_total(m.find("join")).messages, 211u);
+  EXPECT_EQ(m.operation_total(m.find("join")).rounds, 2u);
   EXPECT_EQ(m.total().messages, 211u);  // global total counted once
 
   // Same label nested inside a *different* operation accumulates into the
@@ -130,9 +143,9 @@ TEST(MetricsInternTest, DeeplyNestedScopesAttributeToEveryAncestor) {
     OpScope rejoin(m, "join");
     m.add_messages(5);
   }
-  EXPECT_EQ(m.operation_count("join"), 2u);
-  EXPECT_EQ(m.operation_total("join").messages, 216u);
-  EXPECT_EQ(m.operation_total("merge").messages, 5u);
+  EXPECT_EQ(m.operation_count(m.find("join")), 2u);
+  EXPECT_EQ(m.operation_total(m.find("join")).messages, 216u);
+  EXPECT_EQ(m.operation_total(m.find("merge")).messages, 5u);
 }
 
 TEST(MetricsInternTest, LabelsReflectOnlyCompletedOperations) {
@@ -167,9 +180,9 @@ TEST(MetricsMergeTest, MergeFoldsTotalsAndSamples) {
   }
   // ... and the shard's completed samples land under the same labels,
   // after the samples main already had.
-  EXPECT_EQ(main.operation_count("join"), 2u);
-  EXPECT_EQ(main.operation_count("exchange"), 1u);
-  EXPECT_EQ(main.operation_total("join").messages, 41u);
+  EXPECT_EQ(main.operation_count(main.find("join")), 2u);
+  EXPECT_EQ(main.operation_count(main.find("exchange")), 1u);
+  EXPECT_EQ(main.operation_total(main.find("join")).messages, 41u);
   EXPECT_EQ(main.total().messages, 43u);
   EXPECT_EQ(main.total().rounds, 4u);
 }

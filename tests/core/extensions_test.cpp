@@ -131,7 +131,7 @@ TEST(BatchTest, BatchRoundsAreMaxNotSum) {
   ASSERT_EQ(joined.size(), 6u);
   // Individual join rounds are recorded under the "join" label; the batch
   // round count must be <= any sum of two of them but >= the max.
-  const auto joins = metrics.operation_samples("join");
+  const auto joins = metrics.operation_samples(metrics.find("join"));
   ASSERT_GE(joins.size(), 6u);
   std::uint64_t max_rounds = 0;
   std::uint64_t sum_rounds = 0;
@@ -164,8 +164,8 @@ TEST(BatchTest, MixedBatchRoundsAreMaxOverJoinsAndLeaves) {
 
   // The batch overlaps all member operations in time: its round count is
   // the max over every constituent join AND leave, never their sum.
-  const auto joins = metrics.operation_samples("join");
-  const auto leave_samples = metrics.operation_samples("leave");
+  const auto joins = metrics.operation_samples(metrics.find("join"));
+  const auto leave_samples = metrics.operation_samples(metrics.find("leave"));
   ASSERT_GE(joins.size(), 5u);
   ASSERT_GE(leave_samples.size(), 4u);
   std::uint64_t max_rounds = 0;

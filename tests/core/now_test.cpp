@@ -186,7 +186,7 @@ TEST(NowTest, NoShuffleModeSkipsExchanges) {
   NowSystem system{p, metrics, 12};
   system.initialize(400, 0);
   system.join(false);
-  EXPECT_EQ(metrics.operation_count("exchange"), 0u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("exchange")), 0u);
 }
 
 TEST(NowTest, ShuffleModeRunsExchanges) {
@@ -194,7 +194,7 @@ TEST(NowTest, ShuffleModeRunsExchanges) {
   NowSystem system{small_params(), metrics, 13};
   system.initialize(400, 0);
   system.join(false);
-  EXPECT_GE(metrics.operation_count("exchange"), 1u);
+  EXPECT_GE(metrics.operation_count(metrics.find("exchange")), 1u);
 }
 
 TEST(NowTest, DeterministicGivenSeed) {

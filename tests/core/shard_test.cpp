@@ -171,8 +171,8 @@ TEST(ShardTest, PerShardCostsMergeIntoReport) {
   Rng victims{3};
   const auto leaves = pick_victims(system, 9, victims);
 
-  const auto joins_before = metrics.operation_count("join");
-  const auto leaves_before = metrics.operation_count("leave");
+  const auto joins_before = metrics.operation_count(metrics.find("join"));
+  const auto leaves_before = metrics.operation_count(metrics.find("leave"));
   const auto [joined, report] =
       system.step_parallel_sharded(9, leaves, false, 3);
   ASSERT_EQ(joined.size(), 9u);
@@ -190,12 +190,12 @@ TEST(ShardTest, PerShardCostsMergeIntoReport) {
 
   // Per-operation samples from the shard-local Metrics instances were
   // merged back under the standard labels.
-  EXPECT_EQ(metrics.operation_count("join"), joins_before + 9);
-  EXPECT_EQ(metrics.operation_count("leave"), leaves_before + 9);
+  EXPECT_EQ(metrics.operation_count(metrics.find("join")), joins_before + 9);
+  EXPECT_EQ(metrics.operation_count(metrics.find("leave")), leaves_before + 9);
 
   // Rounds combine by max over the overlapped operations plus the deferred
   // commit restructuring — never the sum of all per-op rounds.
-  const auto join_samples = metrics.operation_samples("join");
+  const auto join_samples = metrics.operation_samples(metrics.find("join"));
   std::uint64_t sum_rounds = 0;
   for (auto it = join_samples.end() - 9; it != join_samples.end(); ++it) {
     sum_rounds += it->rounds;

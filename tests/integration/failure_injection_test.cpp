@@ -119,7 +119,7 @@ TEST(FailureInjectionTest, DepartureMidProtocolDropsCleanly) {
     void on_round(std::size_t, std::span<const net::Message> inbox,
                   net::Outbox& out) override {
       received += inbox.size();
-      out.multicast(peers_, net::Tag::kApp, {self_.value()});
+      out.multicast(peers_, net::Tag::kApp, net::make_words({self_.value()}));
     }
     NodeId self_;
     std::vector<NodeId> peers_;

@@ -102,10 +102,10 @@ TEST(ScenarioTest, MetricsExposePerOperationCosts) {
                                       adversary::ChurnSchedule::hold(400)};
   const auto result = run_scenario(config, adv, metrics);
   EXPECT_GT(result.samples.size(), 1u);
-  EXPECT_GT(metrics.operation_count("join"), 0u);
-  EXPECT_GT(metrics.operation_count("leave"), 0u);
-  EXPECT_GT(metrics.operation_count("exchange"), 0u);
-  const auto joins = metrics.operation_samples("join");
+  EXPECT_GT(metrics.operation_count(metrics.find("join")), 0u);
+  EXPECT_GT(metrics.operation_count(metrics.find("leave")), 0u);
+  EXPECT_GT(metrics.operation_count(metrics.find("exchange")), 0u);
+  const auto joins = metrics.operation_samples(metrics.find("join"));
   for (const auto& cost : joins) {
     EXPECT_GT(cost.messages, 0u);
     EXPECT_GT(cost.rounds, 0u);
@@ -148,7 +148,7 @@ TEST(ScenarioTest, BatchedAdversaryRespectsBudgetAndIsAbsorbed) {
                                       adversary::ChurnSchedule::hold(400)};
   const auto result = run_scenario(config, adv, metrics);
   EXPECT_FALSE(result.ever_compromised);
-  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("batch")), 40u);
   EXPECT_LT(result.peak_byz_fraction, 1.0 / 3.0);
   EXPECT_EQ(result.final_nodes, 400u);  // size-neutral batches
   // The static adversary's global budget: corruptions per step are capped
@@ -191,7 +191,7 @@ TEST(ScenarioTest, ForcedLeaveQuotaRespectedBudgetBindsAndAbsorbed) {
   EXPECT_FALSE(result.ever_compromised);
   EXPECT_LT(result.peak_byz_fraction, 1.0 / 3.0);
   EXPECT_EQ(result.final_nodes, 400u);  // size-neutral batches
-  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("batch")), 40u);
 }
 
 TEST(ScenarioTest, ForcedLeaveQuotaWithoutCorruptionStaysHealthy) {
@@ -237,7 +237,7 @@ TEST(ScenarioTest, BatchedShardedChurnHoldsInvariants) {
   const auto result = run_scenario(config, adv, metrics);
   EXPECT_FALSE(result.ever_compromised);
   EXPECT_EQ(result.final_nodes, 400u);  // batches are size-neutral
-  EXPECT_EQ(metrics.operation_count("batch"), 40u);
+  EXPECT_EQ(metrics.operation_count(metrics.find("batch")), 40u);
   for (const auto& s : result.samples) {
     EXPECT_TRUE(s.overlay_connected) << "step " << s.step;
   }

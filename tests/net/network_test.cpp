@@ -10,8 +10,8 @@ namespace {
 /// Actor that records its inbox and sends a fixed batch each round.
 class EchoActor final : public Actor {
  public:
-  EchoActor(NodeId peer, std::vector<std::uint64_t> payload)
-      : peer_(peer), payload_(std::move(payload)) {}
+  EchoActor(NodeId peer, std::vector<std::uint64_t> words)
+      : peer_(peer), payload_(pack_words(words)) {}
 
   void on_round(std::size_t /*round*/, std::span<const Message> inbox,
                 Outbox& out) override {
@@ -25,7 +25,7 @@ class EchoActor final : public Actor {
 
  private:
   NodeId peer_;
-  std::vector<std::uint64_t> payload_;
+  Payload payload_;
   std::vector<Message> received_;
 };
 
@@ -45,7 +45,7 @@ TEST(SyncNetworkTest, MessagesArriveNextRound) {
   net.run_round();
   ASSERT_EQ(a_ptr->received().size(), 1u);
   EXPECT_EQ(a_ptr->received()[0].from, NodeId{2});
-  EXPECT_EQ(a_ptr->received()[0].payload[0], 9u);
+  EXPECT_EQ(word(a_ptr->received()[0].payload, 0), 9u);
 }
 
 TEST(SyncNetworkTest, CostsCountPayloadUnits) {
@@ -107,7 +107,7 @@ TEST(OutboxTest, MulticastReachesAllDestinations) {
                   Outbox& out) override {
       if (round == 0) {
         const std::vector<NodeId> peers{NodeId{2}, NodeId{3}};
-        out.multicast(peers, Tag::kApp, {11});
+        out.multicast(peers, Tag::kApp, make_words({11}));
       }
     }
   };
