@@ -18,6 +18,7 @@
 #include "core/snapshot.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/erdos_renyi.hpp"
+#include "obs/obs.hpp"
 
 namespace now::core {
 
@@ -760,6 +761,8 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   OpScope scope(metrics_, "batch");
   OpReport combined;
   const std::uint64_t batch_id = batch_counter_++;
+  obs::ScopedSpan batch_span(obs::Cat::kStep, "step.batch", nullptr,
+                             batch_id, shards);
   BatchScratch& bs = *batch_;
 
   // --- Sequential setup: allocate joiner identities and corrupt the first
@@ -796,7 +799,11 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
   // struct-of-arrays (kind / node / target / home slot / rounds) so every
   // later pass over the batch streams sequential memory; the leave sweep
   // prefetches the next leaver's node_home line one op ahead.
-  const auto plan_start = std::chrono::steady_clock::now();
+  // Phase timing is the span layer's job: each phase opens a ScopedSpan
+  // whose measured duration lands both in the trace ring (when recording)
+  // and in the OpReport *_ns field — one timing source (DESIGN.md §13).
+  obs::ScopedSpan plan_span(obs::Cat::kStep, "step.plan", &combined.plan_ns,
+                            batch_id);
   const std::size_t slot_count = state_.slot_count();
   const std::size_t total_ops = joins + leaves.size();
   ++bs.slot_epoch;
@@ -888,6 +895,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
     }
   });
+
+  obs::ScopedSpan wave_span(obs::Cat::kStep, "step.wave_schedule", nullptr,
+                            batch_id);
 
   // --- Wave scheduler, tier 1: one primary exchange wave per cluster the
   // batch touched (join target or leave home), however many operations
@@ -991,6 +1001,7 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     }
   });
   combined.wave_count = bs.primaries.size() + bs.secondaries.size();
+  wave_span.stop();
 
   // --- Merge per-shard accounting into the caller's Metrics (inside the
   // open "batch" scope). Rounds: operations overlap in time (max), the two
@@ -1012,15 +1023,13 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     secondary_rounds = std::max(secondary_rounds, wave.rounds);
   }
   rounds_max += primary_rounds + secondary_rounds;
-  combined.plan_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - plan_start)
-          .count());
+  plan_span.stop();
 
   // --- Commit (DESIGN.md §7): optimistic parallel resolve + conflict
   // replay, then the two parallel/sequential apply stages.
   std::uint64_t commit_rounds = 0;
-  const auto commit_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan commit_span(obs::Cat::kStep, "step.commit",
+                              &combined.commit_ns, batch_id);
   {
     OpScope commit(metrics_, "batch.commit");
 
@@ -1031,7 +1040,8 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
     // home map for the conflict replay below. Also collects the
     // restructuring candidates in first-touch order (swaps are
     // size-neutral, so only op targets can cross a threshold).
-    const auto resolve_start = std::chrono::steady_clock::now();
+    obs::ScopedSpan resolve_span(obs::Cat::kStep, "step.resolve",
+                                 &combined.resolve_ns, batch_id);
     std::vector<std::size_t>& seq_touched = bs.seq_touched;
     std::vector<ClusterId>& candidates = bs.candidates;
     seq_touched.clear();
@@ -1216,11 +1226,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
     }
 
-    combined.resolve_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - resolve_start)
-            .count());
-    const auto stage1_start = std::chrono::steady_clock::now();
+    resolve_span.stop();
+    obs::ScopedSpan stage1_span(obs::Cat::kStep, "step.stage1",
+                                &combined.stage1_ns, batch_id);
 
     // Stage 1 (parallel): slots are partitioned into CONTIGUOUS blocks
     // (one per shard); each worker first GATHERS its block's share of the
@@ -1284,11 +1292,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
       for (const std::size_t slot : bs.touched_scratch[s]) apply(slot);
     });
-    combined.stage1_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - stage1_start)
-            .count());
-    const auto stage2_start = std::chrono::steady_clock::now();
+    stage1_span.stop();
+    obs::ScopedSpan stage2_span(obs::Cat::kStep, "step.stage2",
+                                &combined.stage2_ns, batch_id);
 
     // Stage 2 (sequential), part 0: re-home the slots whose merged
     // membership outgrew their slab extent. The spill set is
@@ -1371,15 +1377,9 @@ std::pair<std::vector<NodeId>, OpReport> NowSystem::step_parallel_mixed(
       }
       cache.maybe_rebuild_alias();
     }
-    combined.stage2_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - stage2_start)
-            .count());
+    stage2_span.stop();
   }
-  combined.commit_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - commit_start)
-          .count());
+  commit_span.stop();
 
   // No per-batch scratch reset: the slot arrays (wave_of_slot,
   // leavers_by_slot, candidate marks) are epoch-stamped, so the next

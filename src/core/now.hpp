@@ -98,6 +98,10 @@ struct OpReport {
   /// shuffles exactly once per time step, however many batch operations
   /// landed on it.
   std::size_t wave_count = 0;
+  // The *_ns fields below are measured by the obs span layer
+  // (obs/obs.hpp): each batch phase opens a ScopedSpan that writes its
+  // duration here and, when recording is enabled, into the trace ring.
+  // With NOW_OBS=OFF they read 0 (telemetry product, not protocol state).
   /// Sharded batches only: wall-clock nanoseconds of the commit phase
   /// (resolve + stage-1 parallel apply + stage-2 merge and restructuring)
   /// — the quantity BENCH_micro.json tracks as commit_ns.

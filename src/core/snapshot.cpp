@@ -10,6 +10,7 @@
 
 #include "core/now.hpp"
 #include "core/state.hpp"
+#include "obs/obs.hpp"
 
 namespace now::core {
 
@@ -419,12 +420,14 @@ void load_system(NowSystem& system, SnapshotReader& r) {
 }
 
 void NowSystem::save(const std::string& path) const {
+  obs::ScopedSpan span(obs::Cat::kSnapshot, "snapshot.save");
   SnapshotWriter writer;
   save_system(*this, writer);
   writer.write_file(path, "NOWSNAP1", kSnapshotFormatVersion);
 }
 
 void NowSystem::load(const std::string& path) {
+  obs::ScopedSpan span(obs::Cat::kSnapshot, "snapshot.load");
   SnapshotReader reader = SnapshotReader::read_file(
       path, "NOWSNAP1", kSnapshotFormatVersion, kSnapshotFormatVersion);
   load_system(*this, reader);

@@ -1,9 +1,13 @@
 #include "net/faulty_transport.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
+#include <string_view>
 
 #include "common/rng.hpp"
 #include "core/snapshot.hpp"
+#include "obs/obs.hpp"
 
 namespace now::net {
 
@@ -46,6 +50,36 @@ void FaultyTransport::send(Message msg) {
   staged_.push_back(std::move(msg));
 }
 
+void FaultyTransport::record(FaultEvent event) {
+#if NOW_OBS_ENABLED
+  // Per-kind names, indexed by FaultEvent::Kind. Interned once.
+  struct FaultObs {
+    std::array<obs::MetricId, 5> counters;
+    std::array<std::uint32_t, 5> instants;
+    FaultObs() {
+      static constexpr std::array<std::string_view, 5> kKinds = {
+          "drop", "duplicate", "delay", "reorder", "partition"};
+      for (std::size_t k = 0; k < kKinds.size(); ++k) {
+        counters[k] = obs::counter_id("fault." + std::string(kKinds[k]));
+        instants[k] =
+            obs::span_name_id("fault." + std::string(kKinds[k]));
+      }
+    }
+  };
+  static const FaultObs fault_obs;
+  const auto k = static_cast<std::size_t>(event.kind);
+  obs::counter_add(fault_obs.counters[k]);
+  // arg0 packs (send round, until_round), arg1 packs (from, to) — the
+  // fault stream's full decision, correlated with net.round spans by the
+  // round number.
+  obs::instant(obs::Cat::kFault, fault_obs.instants[k],
+               (static_cast<std::uint64_t>(event.round) << 32) |
+                   (event.until_round & 0xFFFFFFFFULL),
+               (event.from.value() << 32) | (event.to.value() & 0xFFFFFFFFULL));
+#endif
+  events_.push_back(event);
+}
+
 void FaultyTransport::end_round(std::size_t round) {
   // Per-pair groups: delayed arrivals due this round go first, then this
   // round's survivors. std::map iteration gives ascending (from, to) — the
@@ -73,9 +107,8 @@ void FaultyTransport::end_round(std::size_t round) {
       const std::uint64_t window = round / plan_.partition_rounds;
       Rng prng = Rng::derive_stream(seed_ ^ kPartitionSalt, stream, window);
       if (prng.bernoulli(plan_.partition)) {
-        events_.push_back(FaultEvent{FaultEvent::Kind::kPartition, round,
-                                     msg.from, msg.to,
-                                     (window + 1) * plan_.partition_rounds});
+        record(FaultEvent{FaultEvent::Kind::kPartition, round, msg.from,
+                          msg.to, (window + 1) * plan_.partition_rounds});
         continue;
       }
     }
@@ -88,22 +121,21 @@ void FaultyTransport::end_round(std::size_t round) {
     const bool delayed = rng.bernoulli(plan_.delay);
     const bool duplicated = rng.bernoulli(plan_.duplicate);
     if (dropped) {
-      events_.push_back(
-          FaultEvent{FaultEvent::Kind::kDrop, round, msg.from, msg.to, 0});
+      record(FaultEvent{FaultEvent::Kind::kDrop, round, msg.from, msg.to, 0});
       continue;
     }
     if (delayed && plan_.max_delay_rounds > 0) {
       const std::size_t by =
           1 + static_cast<std::size_t>(rng.uniform(plan_.max_delay_rounds));
-      events_.push_back(FaultEvent{FaultEvent::Kind::kDelay, round, msg.from,
-                                   msg.to, round + by});
+      record(FaultEvent{FaultEvent::Kind::kDelay, round, msg.from, msg.to,
+                        round + by});
       delayed_.push_back(Delayed{round + by, std::move(msg)});
       continue;
     }
     Group& g = groups[pair];
     if (duplicated) {
-      events_.push_back(FaultEvent{FaultEvent::Kind::kDuplicate, round,
-                                   msg.from, msg.to, 0});
+      record(FaultEvent{FaultEvent::Kind::kDuplicate, round, msg.from,
+                        msg.to, 0});
       g.fresh.push_back(msg);
     }
     g.fresh.push_back(std::move(msg));
@@ -116,9 +148,8 @@ void FaultyTransport::end_round(std::size_t round) {
       Rng rng = Rng::derive_stream(seed_ ^ kReorderSalt, stream, round);
       if (rng.bernoulli(plan_.reorder)) {
         std::reverse(group.fresh.begin(), group.fresh.end());
-        events_.push_back(FaultEvent{FaultEvent::Kind::kReorder, round,
-                                     NodeId{pair.first}, NodeId{pair.second},
-                                     0});
+        record(FaultEvent{FaultEvent::Kind::kReorder, round,
+                          NodeId{pair.first}, NodeId{pair.second}, 0});
       }
     }
     for (Message& m : group.due) inner_.send(std::move(m));

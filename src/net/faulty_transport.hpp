@@ -91,6 +91,11 @@ class FaultyTransport final : public Transport {
     Message msg;
   };
 
+  /// Appends to the fault log and mirrors the decision into the obs layer
+  /// (per-kind counter + trace instant). Telemetry only observes the
+  /// already-made decision — the fault streams never see it.
+  void record(FaultEvent event);
+
   Transport& inner_;
   FaultPlan plan_;
   std::uint64_t seed_;

@@ -1,10 +1,43 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <string>
+#include <string_view>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace now::net {
+
+#if NOW_OBS_ENABLED
+namespace {
+
+/// Per-tag send/receive counters, interned once per process. Indexed by
+/// the Tag value so the round loop does no string work.
+struct TagCounters {
+  std::array<obs::MetricId, kMaxTag + 1> send{};
+  std::array<obs::MetricId, kMaxTag + 1> recv{};
+  TagCounters() {
+    static constexpr std::array<std::string_view, kMaxTag + 1> kNames = {
+        "value",    "propose", "king",         "discovery",
+        "commit",   "reveal",  "echo",         "app",
+        "shard_digest", "shard_go", "shard_bye"};
+    for (std::size_t t = 0; t <= kMaxTag; ++t) {
+      send[t] = obs::counter_id("net.send." + std::string(kNames[t]));
+      recv[t] = obs::counter_id("net.recv." + std::string(kNames[t]));
+    }
+  }
+};
+
+const TagCounters& tag_counters() {
+  static TagCounters counters;
+  return counters;
+}
+
+}  // namespace
+#endif  // NOW_OBS_ENABLED
 
 void Outbox::send(NodeId to, Tag tag, Payload payload) {
   messages_.push_back(Message{self_, to, tag, std::move(payload)});
@@ -37,6 +70,11 @@ bool RoundEngine::remove_actor(NodeId id) {
 }
 
 void RoundEngine::run_round() {
+  obs::ScopedSpan round_span(obs::Cat::kNet, "net.round", nullptr, round_,
+                             slots_.size());
+#if NOW_OBS_ENABLED
+  const bool count_tags = obs::Registry::enabled();
+#endif
   // No rushing: every inbox polled this round was sealed by the previous
   // round's barrier; messages sent below become deliverable only after
   // this round's end_round.
@@ -44,12 +82,26 @@ void RoundEngine::run_round() {
   std::swap(out.messages_, outbox_buf_);  // recycle the buffer
   for (Slot& slot : slots_) {
     transport_.poll(slot.id, slot.inbox);
+#if NOW_OBS_ENABLED
+    if (count_tags) {
+      for (const Message& msg : slot.inbox) {
+        obs::counter_add(
+            tag_counters().recv[static_cast<std::size_t>(msg.tag)]);
+      }
+    }
+#endif
     out.self_ = slot.id;
     slot.actor->on_round(round_, slot.inbox, out);
     for (Message& msg : out.messages_) {
       // Charged before the transport may drop it: sends to departed nodes
       // still cost the sender (reconfigurable channels).
       metrics_.add_messages(msg.cost_units());
+#if NOW_OBS_ENABLED
+      if (count_tags) {
+        obs::counter_add(
+            tag_counters().send[static_cast<std::size_t>(msg.tag)]);
+      }
+#endif
       transport_.send(std::move(msg));
     }
     out.messages_.clear();

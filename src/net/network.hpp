@@ -107,21 +107,4 @@ class RoundEngine {
   std::vector<Message> outbox_buf_;
 };
 
-namespace detail {
-/// Base-before-member holder so SyncNetwork's transport outlives the
-/// RoundEngine base that references it.
-struct OwnedInProcTransport {
-  InProcTransport transport;
-};
-}  // namespace detail
-
-/// DEPRECATED compatibility alias for the pre-Transport API: a RoundEngine
-/// that owns its InProcTransport, drop-in for the old monolithic simulator.
-/// Kept for exactly one PR while call sites migrate to
-/// RoundEngine + an explicit Transport; new code must not use it.
-class SyncNetwork : private detail::OwnedInProcTransport, public RoundEngine {
- public:
-  explicit SyncNetwork(Metrics& metrics) : RoundEngine(metrics, transport) {}
-};
-
 }  // namespace now::net

@@ -11,6 +11,7 @@
 
 #include "core/snapshot.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace now::sim {
 
@@ -50,6 +51,11 @@ ShardSim::ShardSim(const ShardSpec& spec, std::size_t shard)
 }
 
 void ShardSim::run_step() {
+  // (round, step) correlation key for tools/now_obs: every process tags
+  // its per-step span with (shard, step), so merged timelines line up
+  // by step even though the processes' clocks are independent.
+  obs::ScopedSpan span(obs::Cat::kShard, "shard.step", nullptr, shard_,
+                       completed_ + 1);
   if (completed_ == 0 && system_.num_nodes() == 0) {
     // Lazy first-use initialization (skipped entirely on restore).
     const auto byz0 = static_cast<std::size_t>(std::floor(
@@ -102,6 +108,8 @@ void ShardSim::run_step() {
 }
 
 void ShardSim::save_checkpoint(const std::string& dir) const {
+  obs::ScopedSpan span(obs::Cat::kSnapshot, "ckpt.save", nullptr, shard_,
+                       completed_);
   core::SnapshotWriter w;
   w.u64(shard_);
   w.u64(completed_);
@@ -125,9 +133,12 @@ void ShardSim::save_checkpoint(const std::string& dir) const {
 std::unique_ptr<ShardSim> ShardSim::load_checkpoint(const ShardSpec& spec,
                                                     std::size_t shard,
                                                     const std::string& dir) {
+  // read_file throws when there is no (usable) checkpoint — a normal
+  // fresh-start probe, so the restore span opens only once it succeeds.
   core::SnapshotReader r = core::SnapshotReader::read_file(
       checkpoint_path(dir, shard), kCheckpointMagic, kCheckpointVersion,
       kCheckpointVersion);
+  obs::ScopedSpan span(obs::Cat::kSnapshot, "ckpt.restore", nullptr, shard);
   auto sim = std::unique_ptr<ShardSim>(new ShardSim(spec, shard));
   if (r.u64() != shard) {
     throw core::SnapshotError("checkpoint is for a different shard");
@@ -147,6 +158,7 @@ std::unique_ptr<ShardSim> ShardSim::load_checkpoint(const ShardSpec& spec,
   sim->driver_rng_.restore_state(rng_state);
   core::check_params(spec.params, r);
   core::load_system(sim->system_, r);
+  span.set_args(shard, sim->completed_);
   return sim;
 }
 
@@ -181,12 +193,20 @@ void ShardWorkerActor::on_round(std::size_t /*round*/,
       // process must recover from the checkpoint alone.
       ::_exit(kCrashExitCode);
     }
+    static const std::uint32_t kReportName =
+        obs::span_name_id("shard.report");
+    obs::instant(obs::Cat::kShard, kReportName, sim_->shard(),
+                 sim_->completed());
     out.send(coordinator_node(), net::Tag::kShardDigest,
              net::pack_words(sim_->report()));
   } else if (sim_->completed() > 0) {
     // Not cleared to advance: retransmit the newest digest until the
     // coordinator acknowledges it (handles dropped digests AND replays
     // after a crash-restore, with no dedicated recovery path).
+    static const std::uint32_t kRetransmitName =
+        obs::span_name_id("shard.retransmit");
+    obs::instant(obs::Cat::kShard, kRetransmitName, sim_->shard(),
+                 sim_->completed());
     out.send(coordinator_node(), net::Tag::kShardDigest,
              net::pack_words(sim_->report()));
   }
@@ -268,6 +288,8 @@ void ShardCoordinatorActor::on_round(std::size_t round,
     result_.final_stats = stats;
     ++merged_;
     result_.steps_completed = merged_;
+    static const std::uint32_t kMergeName = obs::span_name_id("shard.merge");
+    obs::instant(obs::Cat::kShard, kMergeName, merged_, step_digest);
   }
 
   if (merged_ == spec_.steps) finished_ = true;
@@ -323,6 +345,11 @@ void run_worker(const ShardSpec& spec, std::size_t shard,
   if (spec.checkpoint_every > 0 && !spec.checkpoint_dir.empty()) {
     try {
       sim = ShardSim::load_checkpoint(spec, shard, spec.checkpoint_dir);
+      // A worker that starts from a checkpoint is (by construction of the
+      // driver) a respawn after a crash; the instant makes the recovery
+      // visible on the merged timeline.
+      obs::instant(obs::Cat::kShard, obs::span_name_id("shard.respawn"),
+                   shard, sim->completed());
     } catch (const core::SnapshotError&) {
       sim = nullptr;  // no (usable) checkpoint: fresh start
     }

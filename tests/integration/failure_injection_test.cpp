@@ -110,7 +110,8 @@ TEST(FailureInjectionTest, DepartureMidProtocolDropsCleanly) {
   // An actor removed between rounds must not wedge the network or receive
   // ghost messages.
   Metrics metrics;
-  net::SyncNetwork network{metrics};
+  net::InProcTransport transport;
+  net::RoundEngine network{metrics, transport};
 
   class Chatter final : public net::Actor {
    public:

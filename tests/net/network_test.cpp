@@ -29,9 +29,10 @@ class EchoActor final : public Actor {
   std::vector<Message> received_;
 };
 
-TEST(SyncNetworkTest, MessagesArriveNextRound) {
+TEST(RoundEngineTest, MessagesArriveNextRound) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
   auto a = std::make_unique<EchoActor>(NodeId{2},
                                        std::vector<std::uint64_t>{7});
   auto* a_ptr = a.get();
@@ -48,9 +49,10 @@ TEST(SyncNetworkTest, MessagesArriveNextRound) {
   EXPECT_EQ(word(a_ptr->received()[0].payload, 0), 9u);
 }
 
-TEST(SyncNetworkTest, CostsCountPayloadUnits) {
+TEST(RoundEngineTest, CostsCountPayloadUnits) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
   net.add_actor(NodeId{1}, std::make_unique<EchoActor>(
                                NodeId{2}, std::vector<std::uint64_t>{1, 2, 3}));
   net.add_actor(NodeId{2}, std::make_unique<EchoActor>(
@@ -61,9 +63,10 @@ TEST(SyncNetworkTest, CostsCountPayloadUnits) {
   EXPECT_EQ(metrics.total().rounds, 1u);
 }
 
-TEST(SyncNetworkTest, RemovedActorDropsMail) {
+TEST(RoundEngineTest, RemovedActorDropsMail) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
   auto a = std::make_unique<EchoActor>(NodeId{2},
                                        std::vector<std::uint64_t>{5});
   auto b = std::make_unique<EchoActor>(NodeId{1},
@@ -81,15 +84,17 @@ TEST(SyncNetworkTest, RemovedActorDropsMail) {
   EXPECT_EQ(net.num_actors(), 1u);
 }
 
-TEST(SyncNetworkTest, RemoveUnknownActorReturnsFalse) {
+TEST(RoundEngineTest, RemoveUnknownActorReturnsFalse) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
   EXPECT_FALSE(net.remove_actor(NodeId{42}));
 }
 
-TEST(SyncNetworkTest, RoundsAdvance) {
+TEST(RoundEngineTest, RoundsAdvance) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
   net.add_actor(NodeId{1}, std::make_unique<EchoActor>(
                                NodeId{1}, std::vector<std::uint64_t>{}));
   net.run_rounds(5);
@@ -99,7 +104,8 @@ TEST(SyncNetworkTest, RoundsAdvance) {
 
 TEST(OutboxTest, MulticastReachesAllDestinations) {
   Metrics metrics;
-  SyncNetwork net{metrics};
+  InProcTransport transport;
+  RoundEngine net{metrics, transport};
 
   class Multicaster final : public Actor {
    public:

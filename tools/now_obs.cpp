@@ -1,0 +1,391 @@
+// now_obs — merge per-process telemetry files into one Perfetto trace.
+//
+//   now_obs merge <dir | OBS_*.json...> [--out=PATH] [--summary=PATH]
+//       Reads every OBS_*.json (written by processes run with telemetry
+//       on, e.g. `now_shard ... --obs-dir=DIR`), aligns their steady-clock
+//       timelines via the per-file wall-clock anchor (epoch_wall_us),
+//       correlates shard files by the (round, step) keys their spans
+//       carry, and writes:
+//         --out      one Chrome/Perfetto trace_event JSON (default
+//                    obs_trace.json) loadable in ui.perfetto.dev
+//         --summary  a text report (default obs_summary.txt): top
+//                    counters, histogram percentiles, the fault-event
+//                    timeline, and a per-(shard, step) correlation table.
+//       The summary is also printed to stdout.
+//
+//   now_obs summary <dir | OBS_*.json...>
+//       The text report only; writes no files.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+namespace json = now::obs::json;
+
+struct ObsFile {
+  std::string path;
+  std::string label;
+  std::uint64_t pid = 0;
+  std::uint64_t epoch_wall_us = 0;
+  json::ValuePtr doc;
+};
+
+/// Expands arguments into OBS_*.json paths (directories are scanned).
+std::vector<std::string> expand_inputs(int argc, char** argv, int first) {
+  std::vector<std::string> paths;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) continue;  // flags handled elsewhere
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("OBS_", 0) == 0 && entry.path().extension() == ".json") {
+          paths.push_back(entry.path().string());
+        }
+      }
+    } else {
+      paths.push_back(std::string(arg));
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+ObsFile load_obs_file(const std::string& path) {
+  ObsFile f;
+  f.path = path;
+  f.doc = json::parse_file(path);
+  const json::Value* meta = f.doc->get("nowObs");
+  if (meta == nullptr) {
+    throw json::ParseError(path + ": missing nowObs metadata");
+  }
+  if (const auto* label = meta->get("label")) f.label = label->as_string();
+  if (const auto* pid = meta->get("pid")) f.pid = pid->as_u64();
+  if (const auto* epoch = meta->get("epoch_wall_us")) {
+    f.epoch_wall_us = epoch->as_u64();
+  }
+  return f;
+}
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+/// Re-serializes a parsed value, shifting only the top-level "ts" of event
+/// objects at the call site (handled by the caller rewriting that member).
+void write_value(std::ostream& out, const json::Value& v) {
+  switch (v.kind) {
+    case json::Kind::kNull:
+      out << "null";
+      break;
+    case json::Kind::kBool:
+      out << (v.boolean ? "true" : "false");
+      break;
+    case json::Kind::kNumber:
+      if (!v.raw.empty()) {
+        out << v.raw;
+      } else {
+        out << v.number;
+      }
+      break;
+    case json::Kind::kString:
+      write_json_string(out, v.string);
+      break;
+    case json::Kind::kArray: {
+      out << '[';
+      bool first = true;
+      for (const auto& item : v.array) {
+        if (!first) out << ',';
+        first = false;
+        write_value(out, *item);
+      }
+      out << ']';
+      break;
+    }
+    case json::Kind::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object) {
+        if (!first) out << ',';
+        first = false;
+        write_json_string(out, key);
+        out << ':';
+        write_value(out, *value);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+const std::vector<json::ValuePtr>& trace_events(const ObsFile& f) {
+  static const std::vector<json::ValuePtr> kEmpty;
+  const json::Value* events = f.doc->get("traceEvents");
+  return events != nullptr && events->is_array() ? events->array : kEmpty;
+}
+
+/// Writes the merged Perfetto trace: every file's events with ts shifted
+/// onto the common wall-clock timeline (earliest process = 0).
+void write_merged_trace(std::ostream& out, const std::vector<ObsFile>& files,
+                        std::uint64_t min_epoch_us) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ObsFile& f : files) {
+    const std::uint64_t shift_us = f.epoch_wall_us - min_epoch_us;
+    for (const auto& event : trace_events(f)) {
+      if (!event->is_object()) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << '{';
+      bool first_member = true;
+      for (const auto& [key, value] : event->object) {
+        if (!first_member) out << ',';
+        first_member = false;
+        write_json_string(out, key);
+        out << ':';
+        if (key == "ts") {
+          char buf[64];
+          std::snprintf(buf, sizeof buf, "%.3f",
+                        value->as_number() +
+                            static_cast<double>(shift_us));
+          out << buf;
+        } else {
+          write_value(out, *value);
+        }
+      }
+      out << '}';
+    }
+  }
+  out << "]}\n";
+}
+
+// ---------------------------------------------------------------- summary
+
+struct Histogram {
+  std::map<std::uint64_t, std::uint64_t> buckets;  // bucket index -> count
+};
+
+/// Value at quantile q from log2 buckets (upper bound of the bucket the
+/// quantile lands in; bucket b covers [2^(b-1), 2^b - 1], bucket 0 is 0).
+std::uint64_t bucket_quantile(const Histogram& h, double q) {
+  std::uint64_t total = 0;
+  for (const auto& [bucket, count] : h.buckets) total += count;
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, count] : h.buckets) {
+    seen += count;
+    if (seen > rank) {
+      return bucket == 0 ? 0
+                         : (bucket >= 64 ? UINT64_MAX
+                                         : (1ULL << bucket) - 1);
+    }
+  }
+  return 0;
+}
+
+std::string format_fault(const std::string& name, std::uint64_t a0,
+                         std::uint64_t a1) {
+  // record() packs arg0 = (send round << 32) | until_round and
+  // arg1 = (from << 32) | to.
+  std::ostringstream out;
+  out << "round " << (a0 >> 32) << "  " << name << "  " << (a1 >> 32)
+      << " -> " << (a1 & 0xFFFFFFFFULL);
+  if ((a0 & 0xFFFFFFFFULL) != 0) out << "  until round " << (a0 & 0xFFFFFFFFULL);
+  return out.str();
+}
+
+void write_summary(std::ostream& out, const std::vector<ObsFile>& files,
+                   std::uint64_t min_epoch_us) {
+  out << "== now_obs summary: " << files.size() << " process file(s) ==\n";
+  for (const ObsFile& f : files) {
+    out << "  " << f.label << " (pid " << f.pid << ", +"
+        << (f.epoch_wall_us - min_epoch_us) / 1000 << " ms): " << f.path
+        << "\n";
+  }
+
+  // ---- counters and histograms, merged across processes by name.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Histogram> histograms;
+  for (const ObsFile& f : files) {
+    const json::Value* registry = f.doc->get("nowObs")->get("registry");
+    if (registry == nullptr) continue;
+    if (const auto* list = registry->get("counters")) {
+      for (const auto& c : list->array) {
+        counters[c->get("name")->as_string()] += c->get("value")->as_u64();
+      }
+    }
+    if (const auto* list = registry->get("histograms")) {
+      for (const auto& h : list->array) {
+        Histogram& merged = histograms[h->get("name")->as_string()];
+        for (const auto& pair : h->get("buckets")->array) {
+          merged.buckets[pair->array[0]->as_u64()] +=
+              pair->array[1]->as_u64();
+        }
+      }
+    }
+  }
+  out << "\n-- top counters --\n";
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  for (const auto& [name, value] : counters) ranked.emplace_back(value, name);
+  std::sort(ranked.rbegin(), ranked.rend());
+  const std::size_t top = std::min<std::size_t>(ranked.size(), 20);
+  for (std::size_t i = 0; i < top; ++i) {
+    out << "  " << ranked[i].second << " = " << ranked[i].first << "\n";
+  }
+  if (!histograms.empty()) {
+    out << "\n-- histograms (log2 buckets; quantiles are bucket upper "
+           "bounds) --\n";
+    for (const auto& [name, h] : histograms) {
+      std::uint64_t total = 0;
+      for (const auto& [bucket, count] : h.buckets) total += count;
+      out << "  " << name << ": n=" << total
+          << " p50<=" << bucket_quantile(h, 0.50)
+          << " p90<=" << bucket_quantile(h, 0.90)
+          << " p99<=" << bucket_quantile(h, 0.99) << "\n";
+    }
+  }
+
+  // ---- event-derived views: fault timeline + (shard, step) table.
+  struct StepCell {
+    double dur_us = 0;
+    std::string label;
+  };
+  // (step, shard) -> per-process span durations; fault instants by round.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<StepCell>>
+      steps;
+  std::vector<std::pair<std::uint64_t, std::string>> faults;  // (round, line)
+  std::vector<std::string> lifecycle;
+  for (const ObsFile& f : files) {
+    for (const auto& event : trace_events(f)) {
+      const json::Value* name = event->get("name");
+      const json::Value* cat = event->get("cat");
+      if (name == nullptr || cat == nullptr) continue;
+      const json::Value* args = event->get("args");
+      const std::uint64_t a0 =
+          args != nullptr && args->get("a0") ? args->get("a0")->as_u64() : 0;
+      const std::uint64_t a1 =
+          args != nullptr && args->get("a1") ? args->get("a1")->as_u64() : 0;
+      if (cat->as_string() == "fault") {
+        faults.emplace_back(a0 >> 32, format_fault(name->as_string(), a0, a1));
+      } else if (name->as_string() == "shard.step") {
+        StepCell cell;
+        if (const auto* dur = event->get("dur")) cell.dur_us = dur->as_number();
+        cell.label = f.label;
+        steps[{a1, a0}].push_back(cell);  // key = (step, shard)
+      } else if (name->as_string() == "shard.respawn" ||
+                 name->as_string() == "ckpt.restore") {
+        std::ostringstream line;
+        line << "  " << f.label << ": " << name->as_string() << " shard "
+             << a0;
+        if (name->as_string() == "shard.respawn") {
+          line << " resumed at step " << a1;
+        }
+        lifecycle.push_back(line.str());
+      }
+    }
+  }
+  if (!faults.empty()) {
+    std::stable_sort(faults.begin(), faults.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    out << "\n-- fault timeline (" << faults.size() << " events) --\n";
+    for (const auto& [round, line] : faults) out << "  " << line << "\n";
+  }
+  if (!lifecycle.empty()) {
+    out << "\n-- crash recovery --\n";
+    for (const std::string& line : lifecycle) out << line << "\n";
+  }
+  if (!steps.empty()) {
+    out << "\n-- per-(shard, step) spans (correlation key: args a0=shard, "
+           "a1=step) --\n";
+    for (const auto& [key, cells] : steps) {
+      out << "  step " << key.first << " shard " << key.second << ":";
+      for (const StepCell& cell : cells) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, " %s=%.0fus", cell.label.c_str(),
+                      cell.dur_us);
+        out << buf;
+      }
+      out << "\n";
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  const std::string_view mode = argc >= 2 ? argv[1] : "";
+  if (mode != "merge" && mode != "summary") {
+    std::cerr << "usage: now_obs merge|summary <dir|OBS_*.json...> "
+                 "[--out=PATH] [--summary=PATH]\n";
+    return 2;
+  }
+  std::string out_path = "obs_trace.json";
+  std::string summary_path = "obs_summary.txt";
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = std::string(arg.substr(6));
+    if (arg.rfind("--summary=", 0) == 0) {
+      summary_path = std::string(arg.substr(10));
+    }
+  }
+
+  const auto paths = expand_inputs(argc, argv, 2);
+  if (paths.empty()) {
+    std::cerr << "now_obs: no OBS_*.json inputs found\n";
+    return 1;
+  }
+  std::vector<ObsFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) files.push_back(load_obs_file(path));
+  std::uint64_t min_epoch_us = UINT64_MAX;
+  for (const ObsFile& f : files) {
+    min_epoch_us = std::min(min_epoch_us, f.epoch_wall_us);
+  }
+
+  if (mode == "merge") {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "now_obs: cannot write " << out_path << "\n";
+      return 1;
+    }
+    write_merged_trace(out, files, min_epoch_us);
+    std::cout << "wrote " << out_path << "\n";
+    std::ofstream summary(summary_path, std::ios::binary | std::ios::trunc);
+    if (!summary) {
+      std::cerr << "now_obs: cannot write " << summary_path << "\n";
+      return 1;
+    }
+    write_summary(summary, files, min_epoch_us);
+    std::cout << "wrote " << summary_path << "\n";
+  }
+  write_summary(std::cout, files, min_epoch_us);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "now_obs: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -5,6 +5,7 @@
 //                     [--partition=P] [--partition-rounds=R]
 //                     [--fault-seed=F] [--crash-shard=S --crash-at=T]
 //                     [--ckpt-dir=DIR] [--ckpt-every=K] [--bench]
+//                     [--obs-dir=DIR]
 //       Runs the sharded protocol three ways — single-process fault-free
 //       (the reference), single-process under the fault plan, and
 //       multi-process over local sockets (one worker process per shard,
@@ -19,6 +20,13 @@
 //       Internal: one worker process of a compare run. Connects to the
 //       hub, resumes from a checkpoint when one exists, and serves its
 //       shard until the coordinator ends the run.
+//
+//   With --obs-dir=DIR every process of the multi-process leg records
+//   runtime telemetry (src/obs/) and writes DIR/OBS_<label>_pid<pid>.json
+//   on orderly exit (a crashed worker writes nothing; its respawn writes
+//   under the new pid). `now_obs merge DIR` folds the files into one
+//   Perfetto-loadable trace. Telemetry never feeds state: digests are
+//   bit-identical with or without --obs-dir (and with NOW_OBS=OFF).
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -35,6 +43,7 @@
 #include "bench/bench_common.hpp"
 #include "net/faulty_transport.hpp"
 #include "net/socket_transport.hpp"
+#include "obs/obs.hpp"
 #include "sim/shard_runtime.hpp"
 
 namespace {
@@ -54,10 +63,18 @@ struct Options {
   std::size_t crash_shard = SIZE_MAX;  // SIZE_MAX = no crash
   std::size_t crash_at = 0;
   bool bench = false;
+  std::string obs_dir;  // empty = telemetry off
   // worker mode
   std::uint16_t port = 0;
   std::size_t shard = 0;
 };
+
+/// Path of this process's telemetry file; label names the process row in
+/// the merged Perfetto view.
+std::string obs_path(const std::string& dir, const std::string& label) {
+  return dir + "/OBS_" + label + "_pid" + std::to_string(::getpid()) +
+         ".json";
+}
 
 template <typename T>
 bool parse_flag(std::string_view arg, std::string_view prefix, T& out) {
@@ -90,6 +107,7 @@ Options parse(int argc, char** argv) {
     if (parse_flag(arg, "--byz=", o.spec.byz_fraction)) continue;
     if (parse_flag(arg, "--ckpt-every=", o.spec.checkpoint_every)) continue;
     if (parse_str_flag(arg, "--ckpt-dir=", o.spec.checkpoint_dir)) continue;
+    if (parse_str_flag(arg, "--obs-dir=", o.obs_dir)) continue;
     if (parse_flag(arg, "--round-cap=", o.spec.round_cap)) continue;
     if (parse_flag(arg, "--drop=", o.faults.drop)) continue;
     if (parse_flag(arg, "--dup=", o.faults.duplicate)) continue;
@@ -141,6 +159,9 @@ std::vector<std::string> worker_args(const Options& o, std::uint16_t port,
     args.push_back("--ckpt-dir=" + o.spec.checkpoint_dir);
     args.push_back("--ckpt-every=" + std::to_string(o.spec.checkpoint_every));
   }
+  if (!o.obs_dir.empty()) {
+    args.push_back("--obs-dir=" + o.obs_dir);
+  }
   if (with_crash && o.crash_shard == shard && o.crash_at > 0) {
     args.push_back("--crash-at=" + std::to_string(o.crash_at));
   }
@@ -170,6 +191,7 @@ pid_t spawn_worker(const Options& o, std::uint16_t port, std::size_t shard,
 
 int run_worker_mode(const Options& o) {
   try {
+    if (!o.obs_dir.empty()) now::obs::set_enabled(true);
     auto spoke = SocketSpoke::connect(o.port, o.shard);
     std::unique_ptr<FaultyTransport> faulty;
     Transport* transport = spoke.get();
@@ -180,6 +202,10 @@ int run_worker_mode(const Options& o) {
     }
     now::sim::run_worker(o.spec, o.shard, *transport,
                          o.crash_at > 0 ? o.crash_at : 0);
+    if (!o.obs_dir.empty()) {
+      const std::string label = "shard" + std::to_string(o.shard);
+      now::obs::write_obs_file(obs_path(o.obs_dir, label), label);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "worker " << o.shard << ": " << e.what() << "\n";
@@ -278,8 +304,19 @@ int run_compare_mode(Options o) {
   }
 
   // Multi process over sockets, same fault plan, optional crash + respawn.
+  // Telemetry covers exactly this leg in the hub process (the workers
+  // record their whole lifetime), so the hub's trace is the coordinator's
+  // view of the socket run.
   std::size_t respawns = 0;
+  if (!o.obs_dir.empty()) {
+    std::filesystem::create_directories(o.obs_dir);
+    now::obs::set_enabled(true);
+  }
   const ShardRunResult multi = run_multi_process(o, &respawns);
+  if (!o.obs_dir.empty()) {
+    now::obs::set_enabled(false);
+    now::obs::write_obs_file(obs_path(o.obs_dir, "hub"), "hub");
+  }
   print_result("multi-process            ", multi);
   if (crash) {
     std::cout << "  crash: shard " << o.crash_shard << " after step "
